@@ -1,0 +1,179 @@
+// Benchmarks regenerating the paper's tables and figures (DESIGN.md §7).
+// Each BenchmarkFigureN/BenchmarkTableN runs a reduced-window version of
+// the corresponding experiment and reports the paper's headline statistics
+// as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction harness. cmd/experiments runs the same
+// experiments with full windows and prints the complete tables.
+package dcra_test
+
+import (
+	"testing"
+
+	"dcra"
+	"dcra/internal/cpu"
+	"dcra/internal/experiments"
+)
+
+// quickSuite builds a reduced-window suite per benchmark iteration set.
+func quickSuite() *experiments.Suite {
+	s := experiments.NewQuickSuite()
+	s.Runner.Warmup = 15_000
+	s.Runner.Measure = 60_000
+	return s
+}
+
+// BenchmarkTable1 regenerates the sharing-model table (pure arithmetic).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 10 {
+			b.Fatal("table 1 wrong size")
+		}
+	}
+}
+
+// BenchmarkFigure2 runs the resource-restriction curves on a benchmark
+// subset (one integer, one FP; full sweep in cmd/experiments).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		res, err := experiments.Figure2(s.Runner, []string{"gzip", "swim"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		curve := res.PercentOfFull[cpu.RIntIQ]
+		b.ReportMetric(curve[2]*100, "%full@37.5%intIQ")
+	}
+}
+
+// BenchmarkTable3 measures the single-thread cache-behaviour table on the
+// MEM suite (the calibration-sensitive half).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rows, err := experiments.Table3(s.Runner,
+			[]string{"mcf", "art", "swim", "twolf"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].L2MissRate, "mcf-l2miss%")
+	}
+}
+
+// BenchmarkTable5 measures the 2-thread phase-pair distribution.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rows, err := experiments.Table5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Kind == "MIX" {
+				b.ReportMetric(r.Mixed, "MIX-split-phase-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4 measures DCRA-vs-SRA improvements (paper: +7% tp, +8% hmean).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		f4, err := experiments.Figure4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f4.AvgThroughput, "tp-improvement-%")
+		b.ReportMetric(f4.AvgHmean, "hmean-improvement-%")
+	}
+}
+
+// BenchmarkFigure5 measures DCRA against ICOUNT/DG/FLUSH++ (paper Hmean
+// averages: +18%, +41%, +4%).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		f5, err := experiments.Figure5(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f5.AvgHmeanImprovement[experiments.PolICount], "vsICOUNT-%")
+		b.ReportMetric(f5.AvgHmeanImprovement[experiments.PolDG], "vsDG-%")
+		b.ReportMetric(f5.AvgHmeanImprovement[experiments.PolFlushPP], "vsFLUSH++-%")
+	}
+}
+
+// BenchmarkFigure6 sweeps the register-file size (paper: DCRA's edge over
+// SRA/ICOUNT shrinks, over DG/FLUSH++ grows).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		f6, err := experiments.Figure6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sra := f6.Improvement[experiments.PolSRA]
+		b.ReportMetric(sra[0]-sra[len(sra)-1], "SRA-gap-shrink-%")
+	}
+}
+
+// BenchmarkFigure7 sweeps memory latency (paper: ICOUNT degrades hardest).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		f7, err := experiments.Figure7(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ic := f7.Improvement[experiments.PolICount]
+		b.ReportMetric(ic[len(ic)-1]-ic[0], "ICOUNT-gap-growth-%")
+	}
+}
+
+// BenchmarkFrontEndActivity measures FLUSH++'s extra fetch work (paper:
+// +108% at 300-cycle latency).
+func BenchmarkFrontEndActivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		r, err := experiments.FrontEndActivity(s, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ExtraFetchPct, "extra-fetch-%")
+	}
+}
+
+// BenchmarkMemoryParallelism measures DCRA's MLP gain over FLUSH++
+// (paper: +18% average).
+func BenchmarkMemoryParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rows, err := experiments.MemoryParallelism(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var avg float64
+		for _, r := range rows {
+			avg += r.IncreasePct
+		}
+		b.ReportMetric(avg/float64(len(rows)), "mlp-increase-%")
+	}
+}
+
+// BenchmarkSimulatorSpeed measures raw simulation throughput (cycles/op).
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	m, err := dcra.NewMachine(dcra.BaselineConfig(), []dcra.Profile{
+		dcra.MustProfile("gzip"), dcra.MustProfile("mcf"),
+		dcra.MustProfile("art"), dcra.MustProfile("eon"),
+	}, dcra.NewDCRA(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(5_000)
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+}

@@ -1,0 +1,144 @@
+// Command smtsim runs one multiprogrammed workload on the simulated SMT
+// processor and prints the run statistics.
+//
+// Usage:
+//
+//	smtsim -bench mcf,gzip -policy DCRA -warmup 50000 -cycles 300000
+//	smtsim -workload MEM2.1 -policy FLUSH++ -mem-latency 500
+//	smtsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dcra"
+	"dcra/internal/workload"
+)
+
+func main() {
+	var (
+		benchList  = flag.String("bench", "", "comma-separated benchmark names (see -list)")
+		wlName     = flag.String("workload", "", "paper Table 4 workload, e.g. MEM2.1 (kind+threads.group)")
+		polName    = flag.String("policy", "DCRA", "policy: "+strings.Join(dcra.PolicyNames(), ", "))
+		warmup     = flag.Uint64("warmup", 50_000, "warmup cycles before statistics reset")
+		cycles     = flag.Uint64("cycles", 300_000, "measured cycles")
+		seed       = flag.Uint64("seed", 0x5eeddc2a, "workload generator seed")
+		memLatency = flag.Int("mem-latency", 0, "override main-memory latency (pairs L2 with 10/20/25)")
+		physRegs   = flag.Int("regs", 0, "override physical register file size per class")
+		list       = flag.Bool("list", false, "list benchmarks and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, n := range dcra.BenchmarkNames() {
+			p := dcra.MustProfile(n)
+			fmt.Printf("  %-8s %s (paper L2 miss rate %.1f%%)\n", n, p.Type(), p.PaperL2MissRate)
+		}
+		fmt.Println("workloads (paper Table 4):")
+		for _, w := range dcra.AllWorkloads() {
+			fmt.Printf("  %-8s %v\n", w.ID(), w.Names)
+		}
+		return
+	}
+
+	cfg := dcra.BaselineConfig()
+	if *memLatency > 0 {
+		l2 := map[int]int{100: 10, 300: 20, 500: 25}[*memLatency]
+		if l2 == 0 {
+			l2 = cfg.L2.Latency
+		}
+		cfg = cfg.WithMemLatency(*memLatency, l2)
+	}
+	if *physRegs > 0 {
+		cfg = cfg.WithPhysRegs(*physRegs)
+	}
+
+	profiles, names, err := resolveThreads(*benchList, *wlName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtsim:", err)
+		os.Exit(1)
+	}
+
+	pol, err := dcra.NewPolicy(dcra.PolicyName(*polName), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtsim:", err)
+		os.Exit(1)
+	}
+
+	m, err := dcra.NewMachine(cfg, profiles, pol, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtsim:", err)
+		os.Exit(1)
+	}
+	m.Run(*warmup)
+	m.ResetStats()
+	m.Run(*cycles)
+
+	st := m.Stats()
+	fmt.Printf("policy=%s threads=%v warmup=%d measured=%d\n", pol.Name(), names, *warmup, *cycles)
+	fmt.Print(st)
+	h := m.Hierarchy()
+	fmt.Printf("caches: L1I %.2f%% | L1D %.2f%% | L2 %.2f%% miss; %d memory fills; TLB %.2f%% miss\n",
+		h.L1I.MissRate(), h.L1D.MissRate(), h.L2.MissRate(), h.MemMisses, h.TLB.MissRate())
+}
+
+// resolveThreads turns either -bench or -workload into profiles.
+func resolveThreads(benchList, wlName string) ([]dcra.Profile, []string, error) {
+	switch {
+	case benchList != "" && wlName != "":
+		return nil, nil, fmt.Errorf("use either -bench or -workload, not both")
+	case benchList != "":
+		names := strings.Split(benchList, ",")
+		profiles := make([]dcra.Profile, 0, len(names))
+		for _, n := range names {
+			n = strings.TrimSpace(n)
+			p, ok := dcra.Benchmarks()[n]
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown benchmark %q (try -list)", n)
+			}
+			profiles = append(profiles, p)
+		}
+		return profiles, names, nil
+	case wlName != "":
+		w, err := parseWorkload(wlName)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w.Profiles(), w.Names, nil
+	default:
+		return nil, nil, fmt.Errorf("specify -bench or -workload (try -list)")
+	}
+}
+
+// parseWorkload parses "MEM2.1" style names: kind, thread count, group.
+func parseWorkload(s string) (dcra.Workload, error) {
+	var kind workload.Kind
+	var rest string
+	switch {
+	case strings.HasPrefix(s, "ILP"):
+		kind, rest = workload.ILP, s[3:]
+	case strings.HasPrefix(s, "MIX"):
+		kind, rest = workload.MIX, s[3:]
+	case strings.HasPrefix(s, "MEM"):
+		kind, rest = workload.MEM, s[3:]
+	default:
+		return dcra.Workload{}, fmt.Errorf("workload %q: want e.g. MEM2.1", s)
+	}
+	parts := strings.SplitN(rest, ".", 2)
+	threads, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return dcra.Workload{}, fmt.Errorf("workload %q: bad thread count", s)
+	}
+	group := 1
+	if len(parts) == 2 {
+		if group, err = strconv.Atoi(strings.TrimPrefix(parts[1], "g")); err != nil {
+			return dcra.Workload{}, fmt.Errorf("workload %q: bad group", s)
+		}
+	}
+	return dcra.GetWorkload(threads, kind, group)
+}

@@ -1,0 +1,51 @@
+// Phases: watch DCRA's thread classification and sharing-model bounds move
+// as a mixed workload runs — the mechanism behind the paper's Table 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcra"
+)
+
+func main() {
+	cfg := dcra.BaselineConfig()
+	pol := dcra.NewDCRA()
+
+	m, err := dcra.NewMachine(cfg, []dcra.Profile{
+		dcra.MustProfile("art"),  // memory-bound FP
+		dcra.MustProfile("gzip"), // high-ILP integer
+	}, pol, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m.Run(30_000) // warm up
+
+	fmt.Println("cycle   art    gzip   | intIQ-lim intRegs-lim fpIQ-lim | art-fpIQ-active gzip-fpIQ-active")
+	for i := 0; i < 20; i++ {
+		m.Run(2_000)
+		lim := pol.Limits()
+		fmt.Printf("%6d  %-5s  %-5s  | %9d %11d %7d | %15v %16v\n",
+			m.Cycle(), phase(pol.IsSlow(0)), phase(pol.IsSlow(1)),
+			lim[dcra.IntIQ], lim[dcra.IntRegs], lim[dcra.FPIQ],
+			pol.IsActive(0, dcra.FPIQ), pol.IsActive(1, dcra.FPIQ))
+	}
+
+	st := m.Stats()
+	c := st.PhasePairCycles
+	total := float64(c[0] + c[1] + c[2])
+	fmt.Printf("\nphase pair distribution (paper Table 5 for one MEM+ILP pair):\n")
+	fmt.Printf("  fast-fast %.1f%%   mixed %.1f%%   slow-slow %.1f%%\n",
+		100*float64(c[0])/total, 100*float64(c[1])/total, 100*float64(c[2])/total)
+	fmt.Printf("gzip, an integer program, should be inactive for FP resources,\n")
+	fmt.Printf("donating its FP share: gzip fpIQ active = %v\n", pol.IsActive(1, dcra.FPIQ))
+}
+
+func phase(slow bool) string {
+	if slow {
+		return "SLOW"
+	}
+	return "fast"
+}

@@ -1,0 +1,34 @@
+// Quickstart: simulate a memory-bound thread (mcf) next to a high-ILP
+// thread (gzip) under DCRA and print what each thread achieved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcra"
+)
+
+func main() {
+	cfg := dcra.BaselineConfig()
+
+	m, err := dcra.NewMachine(cfg, []dcra.Profile{
+		dcra.MustProfile("mcf"),
+		dcra.MustProfile("gzip"),
+	}, dcra.NewDCRA(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m.Run(50_000) // warm caches and predictors
+	m.ResetStats()
+	m.Run(200_000)
+
+	st := m.Stats()
+	fmt.Printf("DCRA on mcf+gzip over %d cycles:\n", st.Cycles)
+	fmt.Printf("  throughput: %.3f IPC\n", st.Throughput())
+	fmt.Printf("  mcf : %.3f IPC (%d L2 misses, avg memory parallelism %.2f)\n",
+		st.Threads[0].IPC(st.Cycles), st.Threads[0].L2DMisses, st.AvgMLP())
+	fmt.Printf("  gzip: %.3f IPC (%.1f%% branch mispredicts)\n",
+		st.Threads[1].IPC(st.Cycles), st.Threads[1].MispredictRate())
+}

@@ -1,0 +1,42 @@
+// Sharingmodel: explore DCRA's resource-sharing arithmetic (the paper's
+// equation 3 and Table 1) without running a simulation.
+package main
+
+import (
+	"fmt"
+
+	"dcra"
+	"dcra/internal/core"
+)
+
+func main() {
+	fmt.Println("Paper Table 1: E_slow for a 32-entry resource, 4 threads, C = 1/(FA+SA)")
+	fmt.Println("entry  FA  SA  E_slow")
+	entry := 0
+	for total := 1; total <= 4; total++ {
+		for fa := total - 1; fa >= 0; fa-- {
+			entry++
+			sa := total - fa
+			fmt.Printf("%5d  %2d  %2d  %6d\n", entry, fa, sa,
+				dcra.Eslow(32, 4, fa, sa, core.CActive))
+		}
+	}
+
+	fmt.Println("\nLatency-tuned sharing factors (paper §5.3), 80-entry IQ, 4 threads, FA=2 SA=1:")
+	for _, tc := range []struct {
+		name   string
+		factor core.SharingFactor
+	}{
+		{"C = 1/T      (100-cycle memory)", core.CThreads},
+		{"C = 1/(T+4)  (300-cycle memory)", core.CThreadsPlus4},
+		{"C = 0        (500-cycle memory, IQs)", core.CZero},
+	} {
+		fmt.Printf("  %-38s E_slow = %d\n", tc.name, dcra.Eslow(80, 4, 2, 1, tc.factor))
+	}
+
+	fmt.Println("\nHow a slow thread's bound scales with competing fast threads (R=80, C=1/(T+4)):")
+	for fa := 0; fa <= 3; fa++ {
+		fmt.Printf("  FA=%d SA=1: the slow thread may hold %d of 80 entries\n",
+			fa, dcra.Eslow(80, 4, fa, 1, core.CThreadsPlus4))
+	}
+}

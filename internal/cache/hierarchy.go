@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"dcra/internal/config"
+)
+
+// AccessResult describes the outcome of a data-side access.
+type AccessResult struct {
+	// DoneAt is the cycle at which the value is available (for loads) or
+	// the access retires from the memory system (for stores).
+	DoneAt uint64
+	// Latency is DoneAt - now, always >= 1.
+	Latency int
+
+	L1Miss  bool
+	L2Miss  bool // missed L2, went to main memory
+	TLBMiss bool
+}
+
+// mshr tracks one outstanding fill.
+type mshr struct {
+	lineAddr uint64
+	fillAt   uint64
+}
+
+// Hierarchy composes L1I, L1D, a unified L2, a TLB and main memory, with an
+// MSHR file bounding and merging outstanding memory misses.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	TLB *TLB
+
+	cfg config.Config
+
+	// l2mshrs tracks lines in flight from memory (L2 misses). Accesses to a
+	// line already in flight merge: they complete at the original fill time.
+	l2mshrs []mshr
+	// l1mshrs tracks lines in flight from L2 into L1D (L1 misses that hit
+	// in L2); merging avoids double-counting short misses.
+	l1mshrs []mshr
+
+	// MemMisses counts fills requested from main memory.
+	MemMisses uint64
+}
+
+// NewHierarchy builds the full memory system for cfg.
+func NewHierarchy(cfg config.Config) *Hierarchy {
+	return &Hierarchy{
+		L1I: NewCache(cfg.ICache),
+		L1D: NewCache(cfg.DCache),
+		L2:  NewCache(cfg.L2),
+		TLB: NewTLB(cfg.TLBEntries, cfg.PageBytes),
+		cfg: cfg,
+	}
+}
+
+// expire drops completed MSHRs. Called on the query paths; MSHR files are
+// tiny (tens of entries) so a linear sweep is cheap and allocation-free.
+func expire(ms []mshr, now uint64) []mshr {
+	out := ms[:0]
+	for _, m := range ms {
+		if m.fillAt > now {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func findMSHR(ms []mshr, lineAddr uint64) (uint64, bool) {
+	for _, m := range ms {
+		if m.lineAddr == lineAddr {
+			return m.fillAt, true
+		}
+	}
+	return 0, false
+}
+
+// minFill returns the earliest outstanding fill time (0 when empty).
+func minFill(ms []mshr) uint64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	t := ms[0].fillAt
+	for _, m := range ms[1:] {
+		if m.fillAt < t {
+			t = m.fillAt
+		}
+	}
+	return t
+}
+
+// AccessI performs an instruction fetch access for the line containing addr.
+// It returns the fetch latency and whether it missed L1I. Instruction misses
+// are serviced through L2 (and memory on an L2 miss) but are not tracked in
+// the data MSHR statistics.
+func (h *Hierarchy) AccessI(addr uint64, now uint64) (lat int, miss bool) {
+	if h.cfg.PerfectICache {
+		return h.cfg.ICache.Latency, false
+	}
+	lat, miss = h.L1I.Access(addr, now)
+	if !miss {
+		return lat, false
+	}
+	l2lat, l2miss := h.L2.Access(addr, now)
+	lat += l2lat
+	if l2miss {
+		lat += h.cfg.MemLatency
+	}
+	return lat, true
+}
+
+// AccessD performs a data access at cycle now. Store handling is identical
+// to loads for occupancy purposes (write-allocate); the pipeline decides
+// what to do with the returned latency (loads wait for it, stores retire
+// from the LSQ at commit regardless).
+func (h *Hierarchy) AccessD(addr uint64, now uint64) AccessResult {
+	var res AccessResult
+	lat := 0
+
+	if ok := h.TLB.Access(addr); !ok {
+		res.TLBMiss = true
+		lat += h.cfg.TLBPenalty
+	}
+
+	if h.cfg.PerfectDCache {
+		res.Latency = lat + h.cfg.DCache.Latency
+		res.DoneAt = now + uint64(res.Latency)
+		return res
+	}
+
+	// Merge with an outstanding fill for the same line *before* the tag
+	// lookup: Access allocates tags optimistically on a miss, so without
+	// this check a second access to an in-flight line would "hit" and see
+	// the data long before the fill actually arrives.
+	lineAddr := h.L2.LineAddr(addr)
+	h.l2mshrs = expire(h.l2mshrs, now)
+	if fillAt, ok := findMSHR(h.l2mshrs, lineAddr); ok {
+		h.L1D.Access(addr, now) // keep LRU and statistics honest
+		res.L1Miss = true
+		res.L2Miss = true // shares the memory access already in flight
+		res.DoneAt = fillAt
+		if res.DoneAt <= now {
+			res.DoneAt = now + 1
+		}
+		res.Latency = int(res.DoneAt - now)
+		return res
+	}
+	h.l1mshrs = expire(h.l1mshrs, now)
+	if fillAt, ok := findMSHR(h.l1mshrs, lineAddr); ok {
+		h.L1D.Access(addr, now)
+		res.L1Miss = true
+		res.DoneAt = fillAt
+		if res.DoneAt <= now {
+			res.DoneAt = now + 1
+		}
+		res.Latency = int(res.DoneAt - now)
+		return res
+	}
+
+	l1lat, l1miss := h.L1D.Access(addr, now)
+	lat += l1lat
+	if !l1miss {
+		res.Latency = lat
+		res.DoneAt = now + uint64(res.Latency)
+		return res
+	}
+	res.L1Miss = true
+
+	l2lat, l2miss := h.L2.Access(addr, now)
+	lat += l2lat
+	if !l2miss {
+		h.l1mshrs = append(h.l1mshrs, mshr{lineAddr, now + uint64(lat)})
+		res.Latency = lat
+		res.DoneAt = now + uint64(res.Latency)
+		return res
+	}
+
+	res.L2Miss = true
+	h.MemMisses++
+	fillAt := now + uint64(lat+h.cfg.MemLatency)
+	// Beyond the MSHR capacity, fills serialise: a new fill can only start
+	// once the oldest outstanding one completes. This bounds the queue
+	// growth to one memory latency (unlike tail-chaining, which diverges
+	// under sustained miss floods).
+	if len(h.l2mshrs) >= h.cfg.MSHREntries {
+		if earliest := minFill(h.l2mshrs); earliest+uint64(h.cfg.MemLatency) > fillAt {
+			fillAt = earliest + uint64(h.cfg.MemLatency)
+		}
+	}
+	h.l2mshrs = append(h.l2mshrs, mshr{lineAddr, fillAt})
+	res.DoneAt = fillAt
+	res.Latency = int(fillAt - now)
+	return res
+}
+
+// OutstandingMem returns the number of in-flight main-memory fills at cycle
+// now — the instantaneous memory-level parallelism used for the paper's
+// overlapping-miss statistic. Fills queued behind a full MSHR file are
+// serialised, not overlapped, so the result is capped at the MSHR count.
+func (h *Hierarchy) OutstandingMem(now uint64) int {
+	h.l2mshrs = expire(h.l2mshrs, now)
+	if len(h.l2mshrs) > h.cfg.MSHREntries {
+		return h.cfg.MSHREntries
+	}
+	return len(h.l2mshrs)
+}
+
+// PrewarmData inserts every line of [base, base+n) into L2 (and into L1D
+// when intoL1 is set). The synthetic measurement window stands for a slice
+// of a long-running program, whose resident working set would long since be
+// cached; without pre-warming, sparse compulsory misses over a large warm
+// region masquerade as capacity misses for the whole run.
+func (h *Hierarchy) PrewarmData(base uint64, n int, intoL1 bool) {
+	step := uint64(h.cfg.L2.LineBytes)
+	for a := base; a < base+uint64(n); a += step {
+		h.L2.Insert(a)
+		if intoL1 {
+			h.L1D.Insert(a)
+		}
+	}
+	for a := base; a < base+uint64(n); a += uint64(h.cfg.PageBytes) {
+		h.TLB.Insert(a)
+	}
+}
+
+// PrewarmCode inserts every line of [base, base+n) into L1I and L2.
+func (h *Hierarchy) PrewarmCode(base uint64, n int) {
+	step := uint64(h.cfg.L2.LineBytes)
+	for a := base; a < base+uint64(n); a += step {
+		h.L2.Insert(a)
+		h.L1I.Insert(a)
+	}
+}
+
+// ResetStats clears statistics on all levels (after warmup).
+func (h *Hierarchy) ResetStats() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.MemMisses = 0
+	h.TLB.ResetStats()
+}

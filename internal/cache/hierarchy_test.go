@@ -1,0 +1,186 @@
+package cache
+
+import (
+	"testing"
+
+	"dcra/internal/config"
+)
+
+func testHierarchy() *Hierarchy {
+	cfg := config.Baseline()
+	return NewHierarchy(cfg)
+}
+
+func TestDataAccessLevels(t *testing.T) {
+	h := testHierarchy()
+	addr := uint64(1 << 20)
+	h.TLB.Access(addr) // pre-translate so latencies below are pure cache
+
+	res := h.AccessD(addr, 100)
+	if !res.L1Miss || !res.L2Miss {
+		t.Fatalf("cold access should miss both levels: %+v", res)
+	}
+	if res.Latency < 300 {
+		t.Fatalf("memory access latency %d < memory latency", res.Latency)
+	}
+
+	// After the fill time, the line hits L1.
+	res2 := h.AccessD(addr, res.DoneAt+10)
+	if res2.L1Miss {
+		t.Fatalf("post-fill access should hit L1: %+v", res2)
+	}
+	if res2.Latency > 3 {
+		t.Fatalf("L1 hit latency %d too high", res2.Latency)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	h := testHierarchy()
+	addr := uint64(2 << 20)
+	h.TLB.Access(addr)
+	first := h.AccessD(addr, 100)
+	if !first.L2Miss {
+		t.Fatal("expected memory miss")
+	}
+	// A second miss to the same line while in flight completes with the
+	// original fill, not a second memory access.
+	second := h.AccessD(addr+8, 150)
+	if !second.L2Miss {
+		t.Fatal("merged access should still classify as L2 miss")
+	}
+	if second.DoneAt != first.DoneAt {
+		t.Fatalf("merged access DoneAt %d, want %d", second.DoneAt, first.DoneAt)
+	}
+	if h.MemMisses != 1 {
+		t.Fatalf("memory fills = %d, want 1 (merged)", h.MemMisses)
+	}
+}
+
+func TestOutstandingMem(t *testing.T) {
+	h := testHierarchy()
+	base := uint64(8 << 20)
+	for i := uint64(0); i < 5; i++ {
+		a := base + i*4096
+		h.TLB.Access(a)
+		h.AccessD(a, 100)
+	}
+	if got := h.OutstandingMem(150); got != 5 {
+		t.Fatalf("outstanding = %d, want 5", got)
+	}
+	if got := h.OutstandingMem(100 + 400); got != 0 {
+		t.Fatalf("outstanding after fills = %d, want 0", got)
+	}
+}
+
+func TestOutstandingMemCappedAtMSHRs(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.MSHREntries = 4
+	h := NewHierarchy(cfg)
+	base := uint64(16 << 20)
+	for i := uint64(0); i < 10; i++ {
+		a := base + i*4096
+		h.TLB.Access(a)
+		h.AccessD(a, 100)
+	}
+	if got := h.OutstandingMem(150); got != 4 {
+		t.Fatalf("outstanding = %d, want MSHR cap 4", got)
+	}
+}
+
+func TestMSHRSerialisationBounded(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.MSHREntries = 2
+	h := NewHierarchy(cfg)
+	base := uint64(32 << 20)
+	var last AccessResult
+	for i := uint64(0); i < 6; i++ {
+		a := base + i*4096
+		h.TLB.Access(a)
+		last = h.AccessD(a, 100)
+	}
+	// With serialisation bounded by one memory latency behind the earliest
+	// fill, even a burst of misses completes within ~2 memory latencies.
+	if last.DoneAt > 100+3*uint64(cfg.MemLatency) {
+		t.Fatalf("fill scheduled too far out: DoneAt=%d", last.DoneAt)
+	}
+}
+
+func TestTLBMissPenalty(t *testing.T) {
+	h := testHierarchy()
+	addr := uint64(64 << 20)
+	res := h.AccessD(addr, 100)
+	if !res.TLBMiss {
+		t.Fatal("cold page should miss TLB")
+	}
+	res2 := h.AccessD(addr+64, 1000)
+	if res2.TLBMiss {
+		t.Fatal("same page should hit TLB")
+	}
+}
+
+func TestPerfectDCache(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.PerfectDCache = true
+	h := NewHierarchy(cfg)
+	a := uint64(128 << 20)
+	h.TLB.Access(a)
+	res := h.AccessD(a, 10)
+	if res.L1Miss || res.L2Miss {
+		t.Fatalf("perfect D-cache must not miss: %+v", res)
+	}
+	if res.Latency != cfg.DCache.Latency {
+		t.Fatalf("perfect hit latency %d, want %d", res.Latency, cfg.DCache.Latency)
+	}
+}
+
+func TestPerfectICache(t *testing.T) {
+	cfg := config.Baseline()
+	cfg.PerfectICache = true
+	h := NewHierarchy(cfg)
+	if lat, miss := h.AccessI(1<<30, 10); miss || lat != cfg.ICache.Latency {
+		t.Fatalf("perfect I-cache returned lat=%d miss=%v", lat, miss)
+	}
+}
+
+func TestInstructionMissGoesToL2(t *testing.T) {
+	h := testHierarchy()
+	addr := uint64(3 << 20)
+	lat, miss := h.AccessI(addr, 10)
+	if !miss {
+		t.Fatal("cold I-access should miss")
+	}
+	if lat < h.cfg.MemLatency {
+		t.Fatalf("cold I-miss latency %d should include memory", lat)
+	}
+	lat2, miss2 := h.AccessI(addr, 1000)
+	if miss2 || lat2 != h.cfg.ICache.Latency {
+		t.Fatalf("warmed I-access lat=%d miss=%v", lat2, miss2)
+	}
+}
+
+func TestPrewarm(t *testing.T) {
+	h := testHierarchy()
+	h.PrewarmData(1<<22, 8<<10, true)
+	h.PrewarmCode(1<<23, 4<<10)
+	res := h.AccessD(1<<22, 10)
+	if res.L1Miss {
+		t.Fatal("prewarmed data line should hit L1D")
+	}
+	if _, miss := h.AccessI(1<<23, 10); miss {
+		t.Fatal("prewarmed code line should hit L1I")
+	}
+	// Prewarm must not disturb bank scheduling at t=0.
+	if res.Latency > h.cfg.DCache.Latency+1 {
+		t.Fatalf("prewarm polluted bank state: latency %d", res.Latency)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	h := testHierarchy()
+	h.AccessD(4<<20, 10)
+	h.AccessI(5<<20, 10)
+	h.ResetStats()
+	if h.L1D.Accesses != 0 || h.L1I.Accesses != 0 || h.L2.Accesses != 0 || h.MemMisses != 0 {
+		t.Fatal("ResetStats left counters behind")
+	}
+}

@@ -1,0 +1,77 @@
+package cache
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement. The simulator runs on synthetic addresses, so "translation"
+// is only a presence check: a miss costs the configured penalty.
+type TLB struct {
+	entries  []line
+	pageBits uint
+	stamp    uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB with n entries over pages of pageBytes.
+func NewTLB(n, pageBytes int) *TLB {
+	bits := uint(0)
+	for l := pageBytes; l > 1; l >>= 1 {
+		bits++
+	}
+	return &TLB{entries: make([]line, n), pageBits: bits}
+}
+
+// Access looks up the page of addr, allocating on miss. It reports a hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.Accesses++
+	t.stamp++
+	page := addr >> t.pageBits
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.tag == page {
+			e.lru = t.stamp
+			return true
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.entries[victim] = line{tag: page, valid: true, lru: t.stamp}
+	return false
+}
+
+// Insert pre-loads the page of addr without counting statistics (used by
+// hierarchy pre-warming).
+func (t *TLB) Insert(addr uint64) {
+	t.stamp++
+	page := addr >> t.pageBits
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.tag == page {
+			e.lru = t.stamp
+			return
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.entries[victim] = line{tag: page, valid: true, lru: t.stamp}
+}
+
+// MissRate returns misses per access in percent.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return 100 * float64(t.Misses) / float64(t.Accesses)
+}
+
+// ResetStats clears counters but keeps contents.
+func (t *TLB) ResetStats() { t.Accesses, t.Misses = 0, 0 }

@@ -1,0 +1,101 @@
+package config
+
+import "testing"
+
+func TestBaselineValid(t *testing.T) {
+	if err := Baseline().Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+}
+
+func TestBaselineMatchesPaperTable2(t *testing.T) {
+	cfg := Baseline()
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"fetch width", cfg.FetchWidth, 8},
+		{"issue width", cfg.IssueWidth, 8},
+		{"commit width", cfg.CommitWidth, 8},
+		{"int queue", cfg.IntQueue, 80},
+		{"fp queue", cfg.FPQueue, 80},
+		{"ls queue", cfg.LSQueue, 80},
+		{"int units", cfg.IntUnits, 6},
+		{"fp units", cfg.FPUnits, 3},
+		{"ls units", cfg.LSUnits, 4},
+		{"phys regs", cfg.PhysRegs, 352},
+		{"rob", cfg.ROBSize, 512},
+		{"gshare", cfg.GshareEntries, 16384},
+		{"btb", cfg.BTBEntries, 256},
+		{"ras", cfg.RASEntries, 256},
+		{"icache KB", cfg.ICache.SizeBytes, 64 << 10},
+		{"dcache assoc", cfg.DCache.Assoc, 2},
+		{"dcache banks", cfg.DCache.Banks, 8},
+		{"l2 KB", cfg.L2.SizeBytes, 512 << 10},
+		{"l2 assoc", cfg.L2.Assoc, 8},
+		{"l2 latency", cfg.L2.Latency, 20},
+		{"mem latency", cfg.MemLatency, 300},
+		{"tlb penalty", cfg.TLBPenalty, 160},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (paper Table 2)", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRenameRegs(t *testing.T) {
+	cfg := Baseline()
+	for threads, want := range map[int]int{1: 320, 2: 288, 3: 256, 4: 224} {
+		if got := cfg.RenameRegs(threads); got != want {
+			t.Errorf("RenameRegs(%d) = %d, want %d", threads, got, want)
+		}
+	}
+}
+
+func TestSweepHelpers(t *testing.T) {
+	cfg := Baseline().WithMemLatency(500, 25).WithPhysRegs(384)
+	if cfg.MemLatency != 500 || cfg.L2.Latency != 25 || cfg.PhysRegs != 384 {
+		t.Fatalf("sweep helpers did not apply: %+v", cfg)
+	}
+	// The original must be unchanged (value semantics).
+	if Baseline().MemLatency != 300 {
+		t.Fatal("WithMemLatency mutated the baseline")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("swept config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mods := map[string]func(*Config){
+		"zero fetch width":     func(c *Config) { c.FetchWidth = 0 },
+		"zero fetch threads":   func(c *Config) { c.FetchMaxTh = 0 },
+		"tiny frontend buffer": func(c *Config) { c.FrontEndBuffer = 1 },
+		"zero int queue":       func(c *Config) { c.IntQueue = 0 },
+		"zero fp units":        func(c *Config) { c.FPUnits = 0 },
+		"regs below arch":      func(c *Config) { c.PhysRegs = 16 },
+		"zero rob":             func(c *Config) { c.ROBSize = 0 },
+		"non-pow2 gshare":      func(c *Config) { c.GshareEntries = 1000 },
+		"zero mem latency":     func(c *Config) { c.MemLatency = 0 },
+		"non-pow2 page":        func(c *Config) { c.PageBytes = 3000 },
+		"bad cache geometry":   func(c *Config) { c.L2.SizeBytes = 100 },
+		"zero cache banks":     func(c *Config) { c.DCache.Banks = 0 },
+		"zero cache latency":   func(c *Config) { c.ICache.Latency = 0 },
+	}
+	for name, mod := range mods {
+		cfg := Baseline()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad config", name)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	cc := CacheConfig{SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, Banks: 8, Latency: 1}
+	if got := cc.Sets(); got != 512 {
+		t.Fatalf("Sets() = %d, want 512", got)
+	}
+}

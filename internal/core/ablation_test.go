@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dcra/internal/config"
+	"dcra/internal/cpu"
+	"dcra/internal/trace"
+	"dcra/internal/workload"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md §8 calls out. Each
+// reports the achieved throughput as a custom metric so variants can be
+// compared directly:
+//
+//	go test -bench BenchmarkAblation -benchtime 1x ./internal/core/
+func ablationRun(b *testing.B, opt Options) float64 {
+	b.Helper()
+	w, err := workload.Get(4, workload.MIX, 1) // gzip+twolf+bzip2+mcf
+	if err != nil {
+		b.Fatal(err)
+	}
+	profiles := make([]trace.Profile, len(w.Names))
+	for i, n := range w.Names {
+		profiles[i] = trace.MustProfile(n)
+	}
+	m, err := cpu.New(config.Baseline(), profiles, New(opt), 0x5eeddc2a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(20_000)
+	m.ResetStats()
+	m.Run(100_000)
+	return m.Stats().Throughput()
+}
+
+// BenchmarkAblationSharingFactor compares the paper's C variants.
+func BenchmarkAblationSharingFactor(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		factor SharingFactor
+	}{
+		{"CActive", CActive},
+		{"CThreads", CThreads},
+		{"CThreadsPlus4", CThreadsPlus4},
+		{"CZero", CZero},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := DefaultOptions()
+				o.IQFactor, o.RegFactor = tc.factor, tc.factor
+				b.ReportMetric(ablationRun(b, o), "throughput")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationClassification compares L1D-based (paper) vs L2-based
+// slow classification.
+func BenchmarkAblationClassification(b *testing.B) {
+	for _, onL2 := range []bool{false, true} {
+		b.Run(fmt.Sprintf("classifyOnL2=%v", onL2), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := DefaultOptions()
+				o.ClassifyOnL2 = onL2
+				b.ReportMetric(ablationRun(b, o), "throughput")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationActivityY sweeps the activity-counter threshold (the
+// paper tried 64..8192 and picked 256).
+func BenchmarkAblationActivityY(b *testing.B) {
+	for _, y := range []int{64, 256, 1024, 8192} {
+		b.Run(fmt.Sprintf("Y=%d", y), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := DefaultOptions()
+				o.ActivityY = y
+				b.ReportMetric(ablationRun(b, o), "throughput")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationActivityScope compares FP-only activity tracking (paper)
+// with tracking all five resources.
+func BenchmarkAblationActivityScope(b *testing.B) {
+	for _, all := range []bool{false, true} {
+		b.Run(fmt.Sprintf("trackAll=%v", all), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := DefaultOptions()
+				o.TrackAllActivity = all
+				b.ReportMetric(ablationRun(b, o), "throughput")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEnforcement compares fetch-only gating (paper) with
+// additional dispatch-stage enforcement.
+func BenchmarkAblationEnforcement(b *testing.B) {
+	for _, disp := range []bool{false, true} {
+		b.Run(fmt.Sprintf("dispatchGate=%v", disp), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := DefaultOptions()
+				o.EnforceDispatch = disp
+				b.ReportMetric(ablationRun(b, o), "throughput")
+			}
+		})
+	}
+}

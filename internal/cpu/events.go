@@ -1,0 +1,81 @@
+package cpu
+
+// eventKind distinguishes scheduled pipeline events.
+type eventKind uint8
+
+const (
+	// evComplete marks a uop finishing execution.
+	evComplete eventKind = iota
+	// evDetectL1 fires when an L1D miss becomes architecturally visible
+	// (after the L1 lookup), incrementing the thread's pending counter.
+	// Modelling the detection delay matters: STALL/FLUSH's weakness in the
+	// paper is precisely that L2-miss detection "may be too late".
+	evDetectL1
+	// evDetectL2 fires when the L2 lookup identifies a main-memory miss.
+	evDetectL2
+)
+
+// event schedules the completion of an in-flight uop. Squashed uops leave
+// stale events behind; validity is re-checked against the ROB generation at
+// delivery time, which is cheaper than heap removal.
+type event struct {
+	at     uint64
+	thread int32
+	kind   eventKind
+	dseq   uint64
+	gen    uint32
+}
+
+// eventHeap is a binary min-heap on completion time. A hand-rolled heap
+// (rather than container/heap) keeps the hot path free of interface calls
+// and allocations.
+type eventHeap struct {
+	es []event
+}
+
+func (h *eventHeap) len() int { return len(h.es) }
+
+func (h *eventHeap) push(e event) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.es[parent].at <= h.es[i].at {
+			break
+		}
+		h.es[parent], h.es[i] = h.es[i], h.es[parent]
+		i = parent
+	}
+}
+
+// peekAt returns the earliest completion time; ok is false when empty.
+func (h *eventHeap) peekAt() (uint64, bool) {
+	if len(h.es) == 0 {
+		return 0, false
+	}
+	return h.es[0].at, true
+}
+
+func (h *eventHeap) pop() event {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l <= last-1 && h.es[l].at < h.es[small].at {
+			small = l
+		}
+		if r <= last-1 && h.es[r].at < h.es[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.es[i], h.es[small] = h.es[small], h.es[i]
+		i = small
+	}
+	return top
+}

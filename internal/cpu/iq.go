@@ -1,0 +1,118 @@
+package cpu
+
+import "dcra/internal/isa"
+
+// iqEntry is one slot of an issue queue. Entries wait until their pending
+// operand count drops to zero, then issue oldest-first.
+type iqEntry struct {
+	used    bool
+	stamp   uint64 // unique allocation stamp, invalidates stale waiter refs
+	thread  int16
+	class   isa.OpClass
+	pending int8
+	age     uint64 // dispatch order, global across threads
+	dseq    uint64 // position in the thread's ROB
+	gen     uint32 // squash generation of the ROB entry
+}
+
+// issueQueue is a fixed-capacity pool of iqEntries with a free list and a
+// ready list. The ready list may contain stale indices after squashes; the
+// issue scan validates entries before selecting them.
+type issueQueue struct {
+	entries  []iqEntry
+	freeList []int32
+	ready    []int32
+	count    int
+	stampGen uint64
+}
+
+func newIssueQueue(size int) *issueQueue {
+	q := &issueQueue{
+		entries:  make([]iqEntry, size),
+		freeList: make([]int32, size),
+		ready:    make([]int32, 0, size),
+	}
+	for i := range q.freeList {
+		q.freeList[i] = int32(size - 1 - i)
+	}
+	return q
+}
+
+// full reports whether the queue has no free entries.
+func (q *issueQueue) full() bool { return len(q.freeList) == 0 }
+
+// alloc claims an entry; the caller fills the fields it returns.
+func (q *issueQueue) alloc() (int32, *iqEntry) {
+	n := len(q.freeList)
+	idx := q.freeList[n-1]
+	q.freeList = q.freeList[:n-1]
+	q.stampGen++
+	e := &q.entries[idx]
+	*e = iqEntry{used: true, stamp: q.stampGen}
+	q.count++
+	return idx, e
+}
+
+// freeEntry releases an entry (issue or squash).
+func (q *issueQueue) freeEntry(idx int32) {
+	e := &q.entries[idx]
+	if !e.used {
+		return
+	}
+	e.used = false
+	q.freeList = append(q.freeList, idx)
+	q.count--
+}
+
+// markReady queues idx for issue selection.
+func (q *issueQueue) markReady(idx int32) {
+	q.ready = append(q.ready, idx)
+}
+
+// selectOldest scans the ready list, removes stale entries, and returns the
+// index of the oldest valid ready entry, or -1. The caller issues it and
+// calls freeEntry; repeated calls per cycle implement multi-issue.
+func (q *issueQueue) selectOldest() int32 {
+	best := int32(-1)
+	var bestAge uint64
+	w := 0
+	for _, idx := range q.ready {
+		e := &q.entries[idx]
+		if !e.used || e.pending != 0 {
+			continue // stale (squashed or already issued)
+		}
+		q.ready[w] = idx
+		w++
+		if best == -1 || e.age < bestAge {
+			best = idx
+			bestAge = e.age
+		}
+	}
+	q.ready = q.ready[:w]
+	return best
+}
+
+// removeFromReady drops idx from the ready list after it issues.
+func (q *issueQueue) removeFromReady(idx int32) {
+	for i, v := range q.ready {
+		if v == idx {
+			q.ready[i] = q.ready[len(q.ready)-1]
+			q.ready = q.ready[:len(q.ready)-1]
+			return
+		}
+	}
+}
+
+// squashThread frees all entries belonging to thread t with dseq > after.
+// Returns per-queue count removed so the caller can fix usage counters.
+func (q *issueQueue) squashThread(t int, after uint64) int {
+	removed := 0
+	for i := range q.entries {
+		e := &q.entries[i]
+		if e.used && int(e.thread) == t && e.dseq > after {
+			q.freeEntry(int32(i))
+			removed++
+		}
+	}
+	return removed
+}

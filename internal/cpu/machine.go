@@ -1,0 +1,296 @@
+package cpu
+
+import (
+	"fmt"
+
+	"dcra/internal/branch"
+	"dcra/internal/cache"
+	"dcra/internal/config"
+	"dcra/internal/isa"
+	"dcra/internal/stats"
+	"dcra/internal/trace"
+)
+
+// prodEntry records an in-flight value producer so consumers can resolve
+// positional dependences to physical registers. Cleared at commit or squash.
+type prodEntry struct {
+	idx  uint64 // canonical stream index; ^0 when empty
+	phys int32
+	cls  isa.RegClass
+}
+
+const (
+	prodRingSize = 8192 // must exceed the largest in-flight window
+	prodRingMask = prodRingSize - 1
+)
+
+// feEntry is one slot of a thread's front-end (decode/rename) pipe.
+type feEntry struct {
+	u            isa.Uop
+	readyAt      uint64 // cycle at which the uop may dispatch
+	mispredicted bool
+	rasTop       int32
+}
+
+// frontEnd is a fixed-capacity FIFO modelling a thread's decode/rename pipe.
+type frontEnd struct {
+	ring  []feEntry
+	head  int
+	count int
+}
+
+func (f *frontEnd) full() bool  { return f.count == len(f.ring) }
+func (f *frontEnd) empty() bool { return f.count == 0 }
+
+func (f *frontEnd) push(e feEntry) {
+	f.ring[(f.head+f.count)%len(f.ring)] = e
+	f.count++
+}
+
+func (f *frontEnd) peek() *feEntry { return &f.ring[f.head] }
+
+func (f *frontEnd) pop() {
+	f.head = (f.head + 1) % len(f.ring)
+	f.count--
+}
+
+func (f *frontEnd) clear() { f.head, f.count = 0, 0 }
+
+// threadState groups the per-thread fetch bookkeeping.
+type threadState struct {
+	stream   *trace.Stream
+	fetchIdx uint64 // next canonical index to fetch
+
+	wrongPath bool
+	wpPC      uint64
+
+	icacheReadyAt uint64
+	gen           uint32 // squash generation counter
+}
+
+// Machine is one simulated SMT processor running a fixed set of threads.
+type Machine struct {
+	cfg config.Config
+	nt  int
+
+	pol      Policy
+	part     Partitioner   // non-nil when pol partitions resources
+	fetchObs FetchObserver // non-nil when pol observes fetches
+	loadObs  LoadObserver  // non-nil when pol observes load resolution
+
+	hier *cache.Hierarchy
+	pred *branch.Predictor
+
+	threads []threadState
+	fe      []frontEnd
+	rob     []*threadROB
+	robUsed int
+
+	iqs  [3]*issueQueue // indexed by isa.Queue
+	regs [2]*regFile    // int, fp
+	prod [][]prodEntry  // per-thread producer rings
+
+	// Per-thread resource usage counters — exactly the paper's DCRA
+	// occupancy counters (3 IQs, 2 register files) plus ROB occupancy.
+	iqCount  [][3]int
+	regCount [][2]int
+	robCount []int
+
+	// Pending-miss counters (paper: one pending L1D-miss counter per
+	// thread; we also track pending L2 misses for STALL/FLUSH).
+	pendingL1D []int
+	pendingL2  []int
+
+	// allocFlags[t][r] is set when thread t allocates an entry of resource
+	// r during the current cycle's dispatch; DCRA's activity counters
+	// consume it in Tick.
+	allocFlags [][NumResources]bool
+
+	events eventHeap
+
+	cycle    uint64
+	ageStamp uint64
+	commitRR int
+	fetchRR  int
+
+	st        *stats.Stats
+	rankBuf   []int
+	totalRes  [NumResources]int
+	issuedBuf [3]int // per-queue FU usage within a cycle
+}
+
+// New builds a Machine running one Stream per profile under the given
+// policy. The seed fixes all synthetic-workload randomness.
+func New(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nt := len(profiles)
+	if nt == 0 {
+		return nil, fmt.Errorf("cpu: no threads")
+	}
+	rename := cfg.RenameRegs(nt)
+	if rename <= 0 {
+		return nil, fmt.Errorf("cpu: %d physical registers cannot support %d threads",
+			cfg.PhysRegs, nt)
+	}
+
+	m := &Machine{
+		cfg:  cfg,
+		nt:   nt,
+		pol:  pol,
+		hier: cache.NewHierarchy(cfg),
+		pred: branch.New(cfg, nt),
+
+		threads: make([]threadState, nt),
+		fe:      make([]frontEnd, nt),
+		rob:     make([]*threadROB, nt),
+		prod:    make([][]prodEntry, nt),
+
+		iqCount:    make([][3]int, nt),
+		regCount:   make([][2]int, nt),
+		robCount:   make([]int, nt),
+		pendingL1D: make([]int, nt),
+		pendingL2:  make([]int, nt),
+		allocFlags: make([][NumResources]bool, nt),
+
+		st:      stats.New(nt),
+		rankBuf: make([]int, 0, nt),
+	}
+	if p, ok := pol.(Partitioner); ok {
+		m.part = p
+	}
+	if o, ok := pol.(FetchObserver); ok {
+		m.fetchObs = o
+	}
+	if o, ok := pol.(LoadObserver); ok {
+		m.loadObs = o
+	}
+
+	for t := 0; t < nt; t++ {
+		m.threads[t].stream = trace.NewStream(profiles[t], t, seed)
+		m.fe[t].ring = make([]feEntry, cfg.FrontEndBuffer)
+		m.rob[t] = newThreadROB(cfg.ROBSize)
+		m.prod[t] = make([]prodEntry, prodRingSize)
+		for i := range m.prod[t] {
+			m.prod[t][i].idx = ^uint64(0)
+		}
+	}
+	// Pre-warm the resident working sets: the measurement window models a
+	// slice of a long-running program (see cache.Hierarchy.PrewarmData).
+	for t := 0; t < nt; t++ {
+		fp := m.threads[t].stream.Footprint()
+		m.hier.PrewarmCode(fp.CodeBase, fp.CodeBytes)
+		m.hier.PrewarmData(fp.HotBase, fp.HotBytes, true)
+		m.hier.PrewarmData(fp.WarmBase, fp.WarmBytes, false)
+	}
+
+	m.iqs[isa.QInt] = newIssueQueue(cfg.IntQueue)
+	m.iqs[isa.QFP] = newIssueQueue(cfg.FPQueue)
+	m.iqs[isa.QLoadStore] = newIssueQueue(cfg.LSQueue)
+	m.regs[0] = newRegFile(rename)
+	m.regs[1] = newRegFile(rename)
+
+	m.totalRes[RIntIQ] = cfg.IntQueue
+	m.totalRes[RFPIQ] = cfg.FPQueue
+	m.totalRes[RLSIQ] = cfg.LSQueue
+	m.totalRes[RIntRegs] = rename
+	m.totalRes[RFPRegs] = rename
+	m.totalRes[RROB] = cfg.ROBSize
+
+	return m, nil
+}
+
+// ---- accessors used by policies and the experiment harness ----
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() config.Config { return m.cfg }
+
+// NumThreads returns the number of hardware contexts in use.
+func (m *Machine) NumThreads() int { return m.nt }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Stats returns the live statistics (reset by ResetStats after warmup).
+func (m *Machine) Stats() *stats.Stats { return m.st }
+
+// Hierarchy exposes the memory system (tests and reports).
+func (m *Machine) Hierarchy() *cache.Hierarchy { return m.hier }
+
+// Total returns the number of entries of resource r shared by all threads.
+func (m *Machine) Total(r Resource) int { return m.totalRes[r] }
+
+// Usage returns thread t's current occupancy of resource r.
+func (m *Machine) Usage(t int, r Resource) int {
+	switch r {
+	case RIntIQ:
+		return m.iqCount[t][isa.QInt]
+	case RFPIQ:
+		return m.iqCount[t][isa.QFP]
+	case RLSIQ:
+		return m.iqCount[t][isa.QLoadStore]
+	case RIntRegs:
+		return m.regCount[t][0]
+	case RFPRegs:
+		return m.regCount[t][1]
+	case RROB:
+		return m.robCount[t]
+	}
+	return 0
+}
+
+// ICount returns the paper's ICOUNT statistic for thread t: instructions in
+// the pre-issue stages (front-end pipe plus issue queues).
+func (m *Machine) ICount(t int) int {
+	return m.fe[t].count + m.iqCount[t][0] + m.iqCount[t][1] + m.iqCount[t][2]
+}
+
+// PendingL1D returns thread t's in-flight L1 data misses (detected, not yet
+// filled) — the paper's slow/fast classification signal.
+func (m *Machine) PendingL1D(t int) int { return m.pendingL1D[t] }
+
+// PendingL2 returns thread t's in-flight main-memory misses.
+func (m *Machine) PendingL2(t int) int { return m.pendingL2[t] }
+
+// AllocatedThisCycle reports whether thread t allocated an entry of r during
+// this cycle's dispatch (DCRA activity tracking).
+func (m *Machine) AllocatedThisCycle(t int, r Resource) bool {
+	return m.allocFlags[t][r]
+}
+
+// ResetStats zeroes statistics while preserving microarchitectural state;
+// call after warmup.
+func (m *Machine) ResetStats() {
+	nt := m.nt
+	m.st = stats.New(nt)
+	m.hier.ResetStats()
+	m.pred.Lookups, m.pred.Mispredict = 0, 0
+}
+
+// Run advances the machine n cycles.
+func (m *Machine) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.step()
+	}
+}
+
+// RunUntilCommit advances until every thread has committed at least n uops
+// (or maxCycles elapse). It returns the cycles consumed. Used by tests.
+func (m *Machine) RunUntilCommit(n uint64, maxCycles uint64) uint64 {
+	start := m.cycle
+	for m.cycle-start < maxCycles {
+		m.step()
+		done := true
+		for t := range m.st.Threads {
+			if m.st.Threads[t].Committed < n {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+	}
+	return m.cycle - start
+}

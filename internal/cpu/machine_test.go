@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"testing"
+
+	"dcra/internal/config"
+	"dcra/internal/trace"
+)
+
+// icountPolicy is a minimal in-package policy for tests.
+type icountPolicy struct{}
+
+func (icountPolicy) Name() string              { return "ICOUNT" }
+func (icountPolicy) Tick(*Machine)             {}
+func (icountPolicy) Rank(m *Machine, ts []int) { RankByICount(m, ts) }
+func (icountPolicy) Gate(*Machine, int) bool   { return false }
+
+func newTestMachine(t testing.TB, names ...string) *Machine {
+	t.Helper()
+	profiles := make([]trace.Profile, len(names))
+	for i, n := range names {
+		profiles[i] = trace.MustProfile(n)
+	}
+	m, err := New(config.Baseline(), profiles, icountPolicy{}, 42)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestSmokeSingleThread(t *testing.T) {
+	m := newTestMachine(t, "gzip")
+	m.Run(20_000)
+	st := m.Stats()
+	if st.Threads[0].Committed == 0 {
+		t.Fatalf("no instructions committed in 20k cycles:\n%s", st)
+	}
+	ipc := st.Threads[0].IPC(st.Cycles)
+	if ipc < 0.2 || ipc > 8 {
+		t.Fatalf("implausible single-thread IPC %.3f for gzip", ipc)
+	}
+}
+
+func TestSmokeFourThreads(t *testing.T) {
+	m := newTestMachine(t, "gzip", "mcf", "art", "eon")
+	m.Run(20_000)
+	st := m.Stats()
+	for i := range st.Threads {
+		if st.Threads[i].Committed == 0 {
+			t.Fatalf("thread %d starved completely:\n%s", i, st)
+		}
+	}
+	if tp := st.Throughput(); tp <= 0 || tp > 8 {
+		t.Fatalf("implausible throughput %.3f", tp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() string {
+		m := newTestMachine(t, "gzip", "mcf")
+		m.Run(15_000)
+		return m.Stats().String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestConservation checks resource counters return to a consistent state:
+// after a long run, every usage counter matches the occupancy implied by
+// the structures, and nothing leaked.
+func TestConservation(t *testing.T) {
+	m := newTestMachine(t, "mcf", "gcc")
+	m.Run(30_000)
+	for q := 0; q < 3; q++ {
+		sum := 0
+		for tid := 0; tid < m.nt; tid++ {
+			sum += m.iqCount[tid][q]
+		}
+		if sum != m.iqs[q].count {
+			t.Errorf("queue %d: per-thread counts %d != pool count %d", q, sum, m.iqs[q].count)
+		}
+		if m.iqs[q].count < 0 || m.iqs[q].count > len(m.iqs[q].entries) {
+			t.Errorf("queue %d count %d out of range", q, m.iqs[q].count)
+		}
+	}
+	for c := 0; c < 2; c++ {
+		used := 0
+		for tid := 0; tid < m.nt; tid++ {
+			used += m.regCount[tid][c]
+		}
+		total := m.regs[c].available() + used
+		if total != m.cfg.RenameRegs(m.nt) {
+			t.Errorf("reg class %d: free %d + used %d != rename pool %d",
+				c, m.regs[c].available(), used, m.cfg.RenameRegs(m.nt))
+		}
+	}
+	robSum := 0
+	for tid := 0; tid < m.nt; tid++ {
+		robSum += m.robCount[tid]
+		if m.robCount[tid] != m.rob[tid].count() {
+			t.Errorf("thread %d: robCount %d != rob entries %d", tid, m.robCount[tid], m.rob[tid].count())
+		}
+	}
+	if robSum != m.robUsed {
+		t.Errorf("rob: per-thread sum %d != robUsed %d", robSum, m.robUsed)
+	}
+	for tid := 0; tid < m.nt; tid++ {
+		if m.pendingL1D[tid] < 0 || m.pendingL2[tid] < 0 {
+			t.Errorf("thread %d: negative pending miss counters (%d, %d)",
+				tid, m.pendingL1D[tid], m.pendingL2[tid])
+		}
+	}
+}
+
+func BenchmarkCycle4Threads(b *testing.B) {
+	m := newTestMachine(b, "gzip", "mcf", "art", "eon")
+	m.Run(5_000) // warm structures
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+}

@@ -1,0 +1,409 @@
+package cpu
+
+import (
+	"dcra/internal/isa"
+)
+
+// step advances the machine one cycle. Stages run back-to-front (commit
+// first, fetch last) so each stage sees the state the previous cycle left.
+func (m *Machine) step() {
+	m.cycle++
+	m.processEvents()
+	m.commit()
+	m.issue()
+	m.dispatch()
+	m.pol.Tick(m)
+	m.fetch()
+	m.sample()
+	m.st.Cycles++
+}
+
+// ---- completion and miss-detection events ----
+
+func (m *Machine) processEvents() {
+	for {
+		at, ok := m.events.peekAt()
+		if !ok || at > m.cycle {
+			return
+		}
+		ev := m.events.pop()
+		t := int(ev.thread)
+		r := m.rob[t]
+		if !r.valid(ev.dseq, ev.gen) {
+			continue // squashed
+		}
+		e := r.at(ev.dseq)
+		switch ev.kind {
+		case evDetectL1:
+			if e.state != stateDone && !e.l1Counted {
+				e.l1Counted = true
+				m.pendingL1D[t]++
+			}
+		case evDetectL2:
+			if e.state != stateDone && !e.l2Counted {
+				e.l2Counted = true
+				m.pendingL2[t]++
+			}
+		case evComplete:
+			m.complete(t, e)
+		}
+	}
+}
+
+func (m *Machine) complete(t int, e *robEntry) {
+	e.state = stateDone
+	if e.l1Counted {
+		e.l1Counted = false
+		m.pendingL1D[t]--
+	}
+	if e.l2Counted {
+		e.l2Counted = false
+		m.pendingL2[t]--
+	}
+	if e.destPhys >= 0 {
+		rf := m.regs[regIndex(e.destClass)]
+		for _, w := range rf.markReady(e.destPhys) {
+			q := m.iqs[w.queue]
+			ent := &q.entries[w.idx]
+			if !ent.used || ent.stamp != w.stamp {
+				continue // stale waiter from a squashed consumer
+			}
+			ent.pending--
+			if ent.pending == 0 {
+				q.markReady(w.idx)
+			}
+		}
+	}
+	if e.u.Class == isa.OpLoad && m.loadObs != nil && !e.u.WrongPath {
+		m.loadObs.LoadResolved(m, t, e.u.PC, e.hadL1Miss, e.hadL2Miss)
+	}
+	if e.u.Class == isa.OpBranch && !e.u.WrongPath {
+		m.pred.Update(t, &e.u, e.mispredicted)
+		if e.mispredicted {
+			m.pred.FixupHistory(t, e.u.Taken)
+			m.squashAfter(t, e.dseq, e.u.Index+1)
+		}
+	}
+}
+
+// ---- commit ----
+
+func (m *Machine) commit() {
+	budget := m.cfg.CommitWidth
+	start := m.commitRR
+	m.commitRR = (m.commitRR + 1) % m.nt
+	for budget > 0 {
+		progress := false
+		for i := 0; i < m.nt && budget > 0; i++ {
+			t := (start + i) % m.nt
+			e := m.rob[t].head()
+			if e == nil || e.state != stateDone {
+				continue
+			}
+			m.commitEntry(t, e)
+			m.rob[t].popHead()
+			budget--
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (m *Machine) commitEntry(t int, e *robEntry) {
+	m.robUsed--
+	m.robCount[t]--
+	if e.destPhys >= 0 {
+		m.regs[regIndex(e.destClass)].release(e.destPhys)
+		m.regCount[t][regIndex(e.destClass)]--
+	}
+	u := &e.u
+	// Clear the producer-ring slot; consumers dispatched from now on read
+	// the value as architecturally committed (always ready).
+	pe := &m.prod[t][u.Index&prodRingMask]
+	if pe.idx == u.Index {
+		pe.idx = ^uint64(0)
+	}
+	m.threads[t].stream.Release(u.Index + 1)
+
+	ts := &m.st.Threads[t]
+	ts.Committed++
+	switch u.Class {
+	case isa.OpBranch:
+		ts.Branches++
+		if e.mispredicted {
+			ts.BranchMispred++
+		}
+	case isa.OpLoad:
+		ts.Loads++
+	case isa.OpStore:
+		ts.Stores++
+	}
+	if e.hadL1Miss {
+		ts.L1DMisses++
+	}
+	if e.hadL2Miss {
+		ts.L2DMisses++
+	}
+}
+
+// ---- issue ----
+
+func (m *Machine) issue() {
+	fuLeft := [3]int{m.cfg.IntUnits, m.cfg.FPUnits, m.cfg.LSUnits}
+	budget := m.cfg.IssueWidth
+	for budget > 0 {
+		bestQ := -1
+		var bestIdx int32
+		var bestAge uint64
+		for q := 0; q < 3; q++ {
+			if fuLeft[q] == 0 {
+				continue
+			}
+			idx := m.iqs[q].selectOldest()
+			if idx < 0 {
+				continue
+			}
+			age := m.iqs[q].entries[idx].age
+			if bestQ == -1 || age < bestAge {
+				bestQ, bestIdx, bestAge = q, idx, age
+			}
+		}
+		if bestQ == -1 {
+			return
+		}
+		m.issueEntry(bestQ, bestIdx)
+		fuLeft[bestQ]--
+		budget--
+	}
+}
+
+func (m *Machine) issueEntry(q int, idx int32) {
+	iq := m.iqs[q]
+	ent := &iq.entries[idx]
+	t := int(ent.thread)
+	e := m.rob[t].at(ent.dseq)
+	iq.removeFromReady(idx)
+	iq.freeEntry(idx)
+	m.iqCount[t][q]--
+	e.state = stateIssued
+	e.iqQueue = -1
+	m.st.Threads[t].Issued++
+
+	// The bypass network forwards results to dependents as they complete,
+	// so producer-to-consumer latency is the execution latency alone; the
+	// register-read stages add to the branch-resolution penalty (squash
+	// happens later) but not to dependence chains.
+	base := uint64(0)
+	now := m.cycle
+	var done uint64
+	switch e.u.Class {
+	case isa.OpIntALU:
+		done = now + uint64(m.cfg.IntALULat)
+	case isa.OpBranch:
+		done = now + uint64(m.cfg.RegReadCycle) + uint64(m.cfg.IntALULat)
+	case isa.OpIntMul:
+		done = now + uint64(m.cfg.IntMulLat)
+	case isa.OpFPALU:
+		done = now + uint64(m.cfg.FPALULat)
+	case isa.OpFPMul:
+		done = now + uint64(m.cfg.FPMulLat)
+	case isa.OpLoad:
+		res := m.hier.AccessD(e.u.Addr, now+base)
+		done = res.DoneAt
+		e.hadL1Miss = res.L1Miss
+		e.hadL2Miss = res.L2Miss
+		if !e.u.WrongPath {
+			if res.L1Miss {
+				m.events.push(event{
+					at: now + base + uint64(m.cfg.DCache.Latency) + 1, thread: int32(t),
+					kind: evDetectL1, dseq: e.dseq, gen: e.gen,
+				})
+			}
+			if res.L2Miss {
+				m.events.push(event{
+					at: now + base + uint64(m.cfg.DCache.Latency+m.cfg.L2.Latency) + 1, thread: int32(t),
+					kind: evDetectL2, dseq: e.dseq, gen: e.gen,
+				})
+			}
+		}
+		if res.TLBMiss {
+			m.st.Threads[t].TLBMisses++
+		}
+	case isa.OpStore:
+		// Stores update the hierarchy for occupancy/statistics but retire
+		// into a store buffer: they do not hold the pipeline for the miss.
+		res := m.hier.AccessD(e.u.Addr, now+base)
+		e.hadL1Miss = res.L1Miss
+		e.hadL2Miss = res.L2Miss
+		done = now + base + 1
+	default: // OpNop
+		done = now + 1
+	}
+	if done <= now {
+		done = now + 1
+	}
+	m.events.push(event{at: done, thread: int32(t), kind: evComplete, dseq: e.dseq, gen: e.gen})
+}
+
+// ---- dispatch (rename + allocate) ----
+
+func regIndex(c isa.RegClass) int {
+	if c == isa.RegFP {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) dispatch() {
+	for t := 0; t < m.nt; t++ {
+		m.allocFlags[t] = [NumResources]bool{}
+	}
+	budget := m.cfg.FetchWidth
+	start := m.fetchRR // reuse rotation for fairness
+	var stalledMask uint32
+	for budget > 0 {
+		progress := false
+		for i := 0; i < m.nt && budget > 0; i++ {
+			t := (start + i) % m.nt
+			if stalledMask&(1<<uint(t)) != 0 {
+				continue
+			}
+			fe := &m.fe[t]
+			if fe.empty() || fe.peek().readyAt > m.cycle {
+				continue
+			}
+			if !m.tryDispatch(t, fe.peek()) {
+				m.st.Threads[t].DispatchStalls++
+				stalledMask |= 1 << uint(t)
+				continue
+			}
+			fe.pop()
+			budget--
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// tryDispatch allocates every back-end resource the uop needs, atomically.
+func (m *Machine) tryDispatch(t int, fe *feEntry) bool {
+	u := &fe.u
+	q := isa.QueueOf(u.Class)
+	destCls := u.DestRegClass()
+	ri := -1
+	if destCls != isa.RegNone {
+		ri = regIndex(destCls)
+	}
+
+	// Shared-pool availability.
+	if m.robUsed >= m.cfg.ROBSize || m.iqs[q].full() {
+		return false
+	}
+	if ri >= 0 && m.regs[ri].available() == 0 {
+		return false
+	}
+	// Per-thread caps (SRA-style partitioning).
+	if m.part != nil {
+		if c := m.part.Cap(m, t, RROB); c > 0 && m.robCount[t] >= c {
+			return false
+		}
+		if c := m.part.Cap(m, t, Resource(q)); c > 0 && m.iqCount[t][q] >= c {
+			return false
+		}
+		if ri >= 0 {
+			if c := m.part.Cap(m, t, RIntRegs+Resource(ri)); c > 0 && m.regCount[t][ri] >= c {
+				return false
+			}
+		}
+	}
+
+	// Allocate ROB.
+	r := m.rob[t]
+	e := r.push()
+	e.u = *u
+	e.gen = m.threads[t].gen
+	e.state = stateDispatched
+	e.mispredicted = fe.mispredicted
+	e.rasTop = fe.rasTop
+	m.robUsed++
+	m.robCount[t]++
+	m.allocFlags[t][RROB] = true
+
+	// Allocate destination register.
+	if ri >= 0 {
+		phys, _ := m.regs[ri].alloc()
+		e.destPhys = phys
+		e.destClass = destCls
+		m.regCount[t][ri]++
+		m.allocFlags[t][RIntRegs+Resource(ri)] = true
+		if !u.WrongPath {
+			m.prod[t][u.Index&prodRingMask] = prodEntry{idx: u.Index, phys: phys, cls: destCls}
+		}
+	}
+
+	// Allocate the issue-queue entry and resolve operands.
+	idx, ent := m.iqs[q].alloc()
+	ent.thread = int16(t)
+	ent.class = u.Class
+	ent.dseq = e.dseq
+	ent.gen = e.gen
+	m.ageStamp++
+	ent.age = m.ageStamp
+	e.iqQueue = int32(q)
+	e.iqIdx = idx
+	e.iqStamp = ent.stamp
+	m.iqCount[t][q]++
+	m.allocFlags[t][Resource(q)] = true
+
+	if !u.WrongPath {
+		m.resolveOperand(t, u, u.Dep1, int32(q), idx, ent)
+		m.resolveOperand(t, u, u.Dep2, int32(q), idx, ent)
+	}
+	if ent.pending == 0 {
+		m.iqs[q].markReady(idx)
+	}
+	m.st.Threads[t].Dispatched++
+	return true
+}
+
+// resolveOperand links one positional dependence to its producer's physical
+// register, if that producer is still in flight and not yet ready.
+func (m *Machine) resolveOperand(t int, u *isa.Uop, dep uint16, q, idx int32, ent *iqEntry) {
+	if dep == 0 || uint64(dep) > u.Index {
+		return
+	}
+	pidx := u.Index - uint64(dep)
+	pe := &m.prod[t][pidx&prodRingMask]
+	if pe.idx != pidx {
+		return // producer committed (or never tracked): value ready
+	}
+	rf := m.regs[regIndex(pe.cls)]
+	if rf.isReady(pe.phys) {
+		return
+	}
+	ent.pending++
+	rf.addWaiter(pe.phys, waiterRef{queue: q, idx: idx, stamp: ent.stamp})
+}
+
+// ---- per-cycle sampling ----
+
+func (m *Machine) sample() {
+	if out := m.hier.OutstandingMem(m.cycle); out > 0 {
+		m.st.MLPSum += uint64(out)
+		m.st.MLPCycles++
+	}
+	if m.nt == 2 {
+		slow := 0
+		if m.pendingL1D[0] > 0 {
+			slow++
+		}
+		if m.pendingL1D[1] > 0 {
+			slow++
+		}
+		m.st.PhasePairCycles[slow]++
+	}
+}

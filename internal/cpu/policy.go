@@ -1,0 +1,66 @@
+package cpu
+
+import "dcra/internal/isa"
+
+// Policy is the decision interface the pipeline consults every cycle. It
+// subsumes both classic instruction-fetch policies (which only rank threads
+// and gate fetch) and resource allocation policies like DCRA (which also
+// observe and bound per-thread resource usage through the Machine's
+// counters).
+//
+// Implementations live in internal/policy and internal/core; the interface
+// is defined here, on the consumer side, so the pipeline carries no
+// dependency on any particular policy.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+
+	// Tick runs once per cycle after dispatch and before fetch. Policies
+	// use it to refresh classifications, trigger flushes, or recompute
+	// allocation limits.
+	Tick(m *Machine)
+
+	// Rank orders the candidate thread IDs in ts by descending fetch
+	// priority, in place.
+	Rank(m *Machine, ts []int)
+
+	// Gate reports whether thread t must not fetch this cycle.
+	Gate(m *Machine, t int) bool
+}
+
+// RankByICount orders ts ascending by the ICOUNT statistic (fewest pre-issue
+// instructions first), the fetch priority shared by every policy in the
+// paper except ROUND-ROBIN. Ties break by thread ID for determinism.
+func RankByICount(m *Machine, ts []int) {
+	// Insertion sort: ts has at most a handful of hardware contexts.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ts[j-1], ts[j]
+			if m.ICount(a) > m.ICount(b) || (m.ICount(a) == m.ICount(b) && a > b) {
+				ts[j-1], ts[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Partitioner is implemented by policies that impose hard per-thread caps on
+// shared resources, enforced by the dispatch stage (SRA). Cap returns the
+// maximum number of entries of r thread t may hold; values <= 0 mean
+// "unlimited".
+type Partitioner interface {
+	Cap(m *Machine, t int, r Resource) int
+}
+
+// FetchObserver is implemented by policies that react to individual fetched
+// uops (PDG predicts L1 misses at fetch time).
+type FetchObserver interface {
+	UopFetched(m *Machine, t int, u *isa.Uop)
+}
+
+// LoadObserver is implemented by policies that learn from resolved loads
+// (PDG trains its miss predictor; FLUSH++ could track miss behaviour).
+type LoadObserver interface {
+	LoadResolved(m *Machine, t int, pc uint64, l1Miss, l2Miss bool)
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"dcra/internal/config"
+	"dcra/internal/workload"
+)
+
+func TestDebugMEM2(t *testing.T) {
+	s := NewQuickSuite()
+	cfg := config.Baseline()
+	w, _ := workload.Get(2, workload.MEM, 1) // mcf, twolf
+	for _, pn := range []PolicyName{PolICount, PolStall, PolFlush, PolFlushPP, PolDCRA} {
+		r, err := s.run(cfg, w, pn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := r.Stats
+		fmt.Printf("%-8s tp=%.3f hm=%.3f ipc=[%.3f %.3f] fetchStall=[%d %d] flushes=[%d %d] squash=[%d %d]\n",
+			pn, r.Throughput, r.Hmean, r.IPCs[0], r.IPCs[1],
+			st.Threads[0].FetchStalled, st.Threads[1].FetchStalled,
+			st.Threads[0].Flushes, st.Threads[1].Flushes,
+			st.Threads[0].Squashed, st.Threads[1].Squashed)
+	}
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestDebugFig45(t *testing.T) {
+	s := NewQuickSuite()
+	f4, err := Figure4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4.Report().Render(os.Stdout)
+	f5, err := Figure5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5.ThroughputReport().Render(os.Stdout)
+	f5.HmeanReport().Render(os.Stdout)
+	fmt.Println("avg TP improvements:", f5.AvgThroughputImprovement)
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcra/internal/config"
+	"dcra/internal/cpu"
+	"dcra/internal/report"
+	"dcra/internal/sim"
+	"dcra/internal/trace"
+)
+
+// Figure2Fractions are the resource fractions swept in the paper (percent).
+var Figure2Fractions = []float64{12.5, 25, 37.5, 50, 62.5, 75, 87.5, 100}
+
+// Figure2Resources are the five curves of the figure.
+var Figure2Resources = []cpu.Resource{
+	cpu.RIntIQ, cpu.RLSIQ, cpu.RFPIQ, cpu.RIntRegs, cpu.RFPRegs,
+}
+
+// Figure2Result holds the averaged curves: PercentOfFull[r][i] is the mean
+// fraction of full-speed IPC with Figure2Fractions[i] percent of resource r.
+type Figure2Result struct {
+	PercentOfFull map[cpu.Resource][]float64
+}
+
+// figure2Config is the paper's setup for this experiment: 160 rename
+// registers, 32-entry issue queues, perfect data L1.
+func figure2Config() config.Config {
+	cfg := config.Baseline()
+	cfg.IntQueue, cfg.FPQueue, cfg.LSQueue = 32, 32, 32
+	cfg.PhysRegs = 160 + cfg.ArchRegs // 160 rename registers single-threaded
+	cfg.PerfectDCache = true
+	return cfg
+}
+
+// Figure2 reproduces the paper's Figure 2: single-thread IPC (relative to
+// full speed) as one resource class is restricted, averaged over the
+// benchmarks. Per the paper's footnote, FP-resource curves average only the
+// FP benchmarks. The `benchmarks` argument subsets the suite (nil = all).
+func Figure2(r *sim.Runner, benchmarks []string) (Figure2Result, error) {
+	if benchmarks == nil {
+		benchmarks = trace.Names()
+	}
+	cfg := figure2Config()
+	res := Figure2Result{PercentOfFull: make(map[cpu.Resource][]float64)}
+
+	type curveAcc struct {
+		sum []float64
+		n   int
+	}
+	acc := make(map[cpu.Resource]*curveAcc)
+	for _, rc := range Figure2Resources {
+		acc[rc] = &curveAcc{sum: make([]float64, len(Figure2Fractions))}
+	}
+
+	for _, name := range benchmarks {
+		prof := trace.MustProfile(name)
+		full, err := r.SingleIPC(cfg, name)
+		if err != nil {
+			return res, err
+		}
+		if full <= 0 {
+			return res, fmt.Errorf("experiments: %s has zero full-speed IPC", name)
+		}
+		for _, rc := range Figure2Resources {
+			if rc.IsFP() && !prof.FP {
+				continue // FP curves average FP benchmarks only
+			}
+			a := acc[rc]
+			a.n++
+			for i, frac := range Figure2Fractions {
+				capPol := &sim.CapPolicy{}
+				capPol.Caps[rc] = max(1, int(float64(totalOf(cfg, rc))*frac/100))
+				m, err := r.RunMachine(cfg, []trace.Profile{prof}, capPol)
+				if err != nil {
+					return res, err
+				}
+				st := m.Stats()
+				a.sum[i] += st.Threads[0].IPC(st.Cycles) / full
+			}
+		}
+	}
+	for _, rc := range Figure2Resources {
+		a := acc[rc]
+		curve := make([]float64, len(Figure2Fractions))
+		for i := range curve {
+			if a.n > 0 {
+				curve[i] = a.sum[i] / float64(a.n)
+			}
+		}
+		res.PercentOfFull[rc] = curve
+	}
+	return res, nil
+}
+
+// totalOf mirrors Machine.Total for a single-thread configuration without
+// building a machine.
+func totalOf(cfg config.Config, r cpu.Resource) int {
+	switch r {
+	case cpu.RIntIQ:
+		return cfg.IntQueue
+	case cpu.RFPIQ:
+		return cfg.FPQueue
+	case cpu.RLSIQ:
+		return cfg.LSQueue
+	case cpu.RIntRegs, cpu.RFPRegs:
+		return cfg.RenameRegs(1)
+	case cpu.RROB:
+		return cfg.ROBSize
+	}
+	return 0
+}
+
+// Figure2Report renders the curves.
+func (f Figure2Result) Report() *report.Table {
+	cols := []string{"% of resource"}
+	for _, rc := range Figure2Resources {
+		cols = append(cols, rc.String())
+	}
+	t := report.NewTable("Figure 2: % of full speed vs % of one resource (single thread, perfect L1D)", cols...)
+	for i, frac := range Figure2Fractions {
+		row := []any{fmt.Sprintf("%.1f", frac)}
+		for _, rc := range Figure2Resources {
+			row = append(row, fmt.Sprintf("%.3f", f.PercentOfFull[rc][i]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper shape: ~90%% of full speed at 37.5%% of resources; FP columns average FP benchmarks only")
+	return t
+}

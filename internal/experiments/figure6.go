@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcra/internal/config"
+	"dcra/internal/metrics"
+	"dcra/internal/report"
+)
+
+// Figure6RegSizes are the register-pool sizes swept in the paper.
+var Figure6RegSizes = []int{320, 352, 384}
+
+// Figure6Policies are the comparison points of Figures 6 and 7.
+var Figure6Policies = []PolicyName{PolICount, PolFlushPP, PolDG, PolSRA}
+
+// Figure6Result maps each comparison policy to DCRA's average Hmean
+// improvement (%) at each register-pool size, over all 36 workloads.
+type Figure6Result struct {
+	Improvement map[PolicyName][]float64 // indexed like Figure6RegSizes
+}
+
+// Figure6 reproduces the paper's Figure 6: DCRA's Hmean advantage as the
+// physical register file grows. Paper shape: the advantage over SRA and
+// ICOUNT shrinks with more registers (starvation gets rarer), while the
+// advantage over DG and FLUSH++ grows (their deallocation/stall become
+// needless waste when resources are plentiful).
+func Figure6(s *Suite) (Figure6Result, error) {
+	res := Figure6Result{Improvement: make(map[PolicyName][]float64)}
+	for _, regs := range Figure6RegSizes {
+		cfg := config.Baseline().WithPhysRegs(regs)
+		_, dcraHM, err := s.allWorkloadAverages(cfg, PolDCRA)
+		if err != nil {
+			return res, err
+		}
+		for _, pn := range Figure6Policies {
+			_, hm, err := s.allWorkloadAverages(cfg, pn)
+			if err != nil {
+				return res, err
+			}
+			res.Improvement[pn] = append(res.Improvement[pn],
+				metrics.Improvement(dcraHM, hm))
+		}
+	}
+	return res, nil
+}
+
+// Report renders the figure.
+func (f Figure6Result) Report() *report.Table {
+	cols := []string{"vs policy"}
+	for _, r := range Figure6RegSizes {
+		cols = append(cols, fmt.Sprintf("%d regs", r))
+	}
+	t := report.NewTable("Figure 6: DCRA Hmean improvement (%) vs register pool size", cols...)
+	for _, pn := range Figure6Policies {
+		row := []any{string(pn)}
+		for _, v := range f.Improvement[pn] {
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper shape: advantage over SRA/ICOUNT shrinks with more registers; over DG/FLUSH++ it grows")
+	return t
+}

@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §7 for the experiment index). Each Figure*/
+// Table* function returns both structured results (asserted by tests and
+// benchmarks) and a rendered report.Table.
+package experiments
+
+import (
+	"fmt"
+
+	"dcra/internal/config"
+	"dcra/internal/core"
+	"dcra/internal/cpu"
+	"dcra/internal/metrics"
+	"dcra/internal/policy"
+	"dcra/internal/sim"
+	"dcra/internal/workload"
+)
+
+// PolicyName identifies one of the policies under study.
+type PolicyName string
+
+// Policies compared in the paper's evaluation.
+const (
+	PolICount  PolicyName = "ICOUNT"
+	PolStall   PolicyName = "STALL"
+	PolFlush   PolicyName = "FLUSH"
+	PolFlushPP PolicyName = "FLUSH++"
+	PolDG      PolicyName = "DG"
+	PolPDG     PolicyName = "PDG"
+	PolSRA     PolicyName = "SRA"
+	PolDCRA    PolicyName = "DCRA"
+)
+
+// newPolicy builds a fresh policy instance. DCRA's sharing factor follows
+// the paper's latency tuning (Section 5.3), so it depends on cfg.
+func newPolicy(name PolicyName, cfg config.Config) cpu.Policy {
+	switch name {
+	case PolICount:
+		return policy.NewICount()
+	case PolStall:
+		return policy.NewStall()
+	case PolFlush:
+		return policy.NewFlush()
+	case PolFlushPP:
+		return policy.NewFlushPP()
+	case PolDG:
+		return policy.NewDG()
+	case PolPDG:
+		return policy.NewPDG()
+	case PolSRA:
+		return policy.NewSRA()
+	case PolDCRA:
+		return core.New(core.OptionsForLatency(cfg.MemLatency))
+	}
+	panic("experiments: unknown policy " + string(name))
+}
+
+// Suite runs experiments with result memoisation: the same (workload,
+// policy, configuration) run is shared between figures — Figure 5's DCRA
+// runs at the baseline are also Figure 4's and Figure 6's middle points.
+type Suite struct {
+	Runner *sim.Runner
+	cache  map[string]sim.Result
+}
+
+// NewSuite builds a Suite with the default measurement windows.
+func NewSuite() *Suite {
+	return &Suite{Runner: sim.NewRunner(), cache: make(map[string]sim.Result)}
+}
+
+// NewQuickSuite builds a Suite with reduced windows for tests/benchmarks
+// (~6x faster, noisier but preserving every qualitative relationship).
+func NewQuickSuite() *Suite {
+	s := NewSuite()
+	s.Runner.Warmup = 20_000
+	s.Runner.Measure = 80_000
+	return s
+}
+
+// run returns the memoised result of one (cfg, workload, policy) cell.
+func (s *Suite) run(cfg config.Config, w workload.Workload, pn PolicyName) (sim.Result, error) {
+	key := fmt.Sprintf("%s|%s|%+v", w.ID(), pn, cfg)
+	if r, ok := s.cache[key]; ok {
+		return r, nil
+	}
+	r, err := s.Runner.RunWorkload(cfg, w, func() cpu.Policy { return newPolicy(pn, cfg) })
+	if err != nil {
+		return sim.Result{}, err
+	}
+	s.cache[key] = r
+	return r, nil
+}
+
+// kindAverages runs all four groups of (threads, kind) under pn and returns
+// the mean throughput and mean Hmean, the paper's per-workload-type summary.
+func (s *Suite) kindAverages(cfg config.Config, threads int, kind workload.Kind, pn PolicyName) (tp, hm float64, err error) {
+	var tps, hms []float64
+	for _, w := range workload.Groups(threads, kind) {
+		r, err := s.run(cfg, w, pn)
+		if err != nil {
+			return 0, 0, err
+		}
+		tps = append(tps, r.Throughput)
+		hms = append(hms, r.Hmean)
+	}
+	return metrics.Mean(tps), metrics.Mean(hms), nil
+}
+
+// allWorkloadAverages averages throughput/Hmean over all 36 workloads.
+func (s *Suite) allWorkloadAverages(cfg config.Config, pn PolicyName) (tp, hm float64, err error) {
+	var tps, hms []float64
+	for _, w := range workload.All() {
+		r, err := s.run(cfg, w, pn)
+		if err != nil {
+			return 0, 0, err
+		}
+		tps = append(tps, r.Throughput)
+		hms = append(hms, r.Hmean)
+	}
+	return metrics.Mean(tps), metrics.Mean(hms), nil
+}
+
+// threadCounts and kind order used by per-type reports.
+var threadCounts = []int{2, 3, 4}

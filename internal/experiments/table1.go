@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"dcra/internal/core"
+	"dcra/internal/report"
+)
+
+// Table1Row is one row of the paper's Table 1: the pre-computed E_slow for
+// a 32-entry resource on a 4-thread processor.
+type Table1Row struct {
+	Entry, FA, SA, Eslow int
+}
+
+// Table1 regenerates the paper's Table 1 with the sharing model
+// (C = 1/(FA+SA), the dynamic form the table was computed with).
+func Table1() []Table1Row {
+	const (
+		resource = 32
+		threads  = 4
+	)
+	var rows []Table1Row
+	entry := 0
+	// The paper enumerates all (FA, SA) combinations with SA >= 1 and
+	// FA+SA <= threads, ordered by total active count, then descending FA.
+	for total := 1; total <= threads; total++ {
+		for fa := total - 1; fa >= 0; fa-- {
+			sa := total - fa
+			entry++
+			rows = append(rows, Table1Row{
+				Entry: entry,
+				FA:    fa,
+				SA:    sa,
+				Eslow: core.Eslow(resource, threads, fa, sa, core.CActive),
+			})
+		}
+	}
+	return rows
+}
+
+// PaperTable1 holds the values printed in the paper, keyed by (FA, SA),
+// for the golden reproduction test.
+var PaperTable1 = map[[2]int]int{
+	{0, 1}: 32, {1, 1}: 24, {0, 2}: 16, {2, 1}: 18, {1, 2}: 14,
+	{0, 3}: 11, {3, 1}: 14, {2, 2}: 12, {1, 3}: 10, {0, 4}: 8,
+}
+
+// Table1Report renders Table 1 next to the paper's values.
+func Table1Report() *report.Table {
+	t := report.NewTable("Table 1: E_slow for a 32-entry resource, 4 threads",
+		"entry", "FA", "SA", "E_slow", "paper")
+	for _, r := range Table1() {
+		t.AddRow(r.Entry, r.FA, r.SA, r.Eslow, PaperTable1[[2]int{r.FA, r.SA}])
+	}
+	t.AddNote("sharing factor C = 1/(FA+SA); exact match with the paper is a golden test")
+	return t
+}

@@ -1,0 +1,197 @@
+// Package isa defines the micro-operation model shared by the synthetic
+// workload generator and the SMT pipeline.
+//
+// The simulator is trace-driven: semantics of instructions are irrelevant,
+// only their resource footprint matters (which queue they occupy, which
+// register class they write, how long their functional unit takes, whether
+// they touch memory or redirect fetch). A Uop therefore carries operand
+// *positions* in the instruction stream rather than register numbers: the
+// generator expresses "this uop consumes the value produced k uops ago",
+// and the renamer turns that into physical-register dependences.
+package isa
+
+import "fmt"
+
+// OpClass identifies the resource class of a micro-operation.
+type OpClass uint8
+
+// Operation classes. The three queue-occupying groups mirror the paper's
+// three issue queues (integer, FP, load/store).
+const (
+	OpNop    OpClass = iota
+	OpIntALU         // 1-cycle integer operation
+	OpIntMul         // multi-cycle integer multiply/divide
+	OpBranch         // conditional branch (integer IQ)
+	OpFPALU          // FP add/compare
+	OpFPMul          // FP multiply/divide
+	OpLoad           // memory load (load/store IQ)
+	OpStore          // memory store (load/store IQ)
+	numOpClasses
+)
+
+// NumOpClasses is the number of distinct operation classes.
+const NumOpClasses = int(numOpClasses)
+
+var opClassNames = [...]string{
+	OpNop:    "nop",
+	OpIntALU: "ialu",
+	OpIntMul: "imul",
+	OpBranch: "br",
+	OpFPALU:  "fpalu",
+	OpFPMul:  "fpmul",
+	OpLoad:   "load",
+	OpStore:  "store",
+}
+
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("OpClass(%d)", uint8(c))
+}
+
+// CallKind classifies branch flavours for return-address prediction.
+type CallKind uint8
+
+// Branch flavours.
+const (
+	CallNone   CallKind = iota // plain conditional branch
+	CallDirect                 // call: pushes return address
+	CallReturn                 // return: pops predicted target
+)
+
+// RegClass identifies a register file.
+type RegClass uint8
+
+// Register classes.
+const (
+	RegNone RegClass = iota // no register
+	RegInt
+	RegFP
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case RegNone:
+		return "none"
+	case RegInt:
+		return "int"
+	case RegFP:
+		return "fp"
+	}
+	return fmt.Sprintf("RegClass(%d)", uint8(c))
+}
+
+// Queue identifies an issue queue, following the paper's three-queue split.
+type Queue uint8
+
+// Issue queues.
+const (
+	QInt Queue = iota
+	QFP
+	QLoadStore
+	NumQueues
+)
+
+func (q Queue) String() string {
+	switch q {
+	case QInt:
+		return "intIQ"
+	case QFP:
+		return "fpIQ"
+	case QLoadStore:
+		return "lsIQ"
+	}
+	return fmt.Sprintf("Queue(%d)", uint8(q))
+}
+
+// QueueOf returns the issue queue in which class c waits for issue.
+func QueueOf(c OpClass) Queue {
+	switch c {
+	case OpFPALU, OpFPMul:
+		return QFP
+	case OpLoad, OpStore:
+		return QLoadStore
+	default:
+		return QInt
+	}
+}
+
+// DestClass returns the register class written by class c. Branches and
+// stores produce no register value.
+func DestClass(c OpClass) RegClass {
+	switch c {
+	case OpIntALU, OpIntMul, OpLoad:
+		return RegInt
+	case OpFPALU, OpFPMul:
+		return RegFP
+	default:
+		return RegNone
+	}
+}
+
+// IsMem reports whether class c accesses the data cache.
+func IsMem(c OpClass) bool { return c == OpLoad || c == OpStore }
+
+// Uop is one micro-operation of the trace. Dependences are expressed as
+// backwards distances in the same thread's committed-order stream: a
+// distance d > 0 means "the uop d positions earlier produces my operand";
+// d == 0 means the operand is ready (immediate, or produced long ago).
+type Uop struct {
+	Index uint64  // position in the thread's canonical stream (0-based)
+	PC    uint64  // synthetic program counter (for predictors/caches)
+	Class OpClass // resource class
+
+	// Dep1/Dep2 are backwards dependence distances (0 = no dependence).
+	Dep1 uint16
+	Dep2 uint16
+
+	// Addr is the effective address for loads/stores (already translated by
+	// the generator's address model; the TLB model hashes it).
+	Addr uint64
+
+	// Taken and Target describe the canonical outcome of a branch.
+	Taken  bool
+	Target uint64
+
+	// CallKind distinguishes calls and returns among branches so the RAS
+	// participates in target prediction.
+	CallKind CallKind
+
+	// FPDest marks uops writing an FP register. For ALU classes it is
+	// implied by Class; for loads it distinguishes FP loads (which allocate
+	// an FP physical register) from integer loads.
+	FPDest bool
+
+	// WrongPath marks uops synthesised beyond a mispredicted branch. They
+	// consume resources but never commit.
+	WrongPath bool
+}
+
+// Validate performs structural sanity checks, used by tests and the
+// generator's self-checks.
+func (u *Uop) Validate() error {
+	if u.Class >= numOpClasses {
+		return fmt.Errorf("isa: invalid op class %d", u.Class)
+	}
+	if IsMem(u.Class) && u.Addr == 0 {
+		return fmt.Errorf("isa: memory uop %d without address", u.Index)
+	}
+	if u.Class == OpBranch && u.Taken && u.Target == 0 {
+		return fmt.Errorf("isa: taken branch %d without target", u.Index)
+	}
+	if u.Class != OpLoad && u.FPDest != (DestClass(u.Class) == RegFP) {
+		return fmt.Errorf("isa: uop %d FPDest flag inconsistent with class %v", u.Index, u.Class)
+	}
+	return nil
+}
+
+// DestRegClass returns the register class this uop's destination actually
+// occupies, honouring the FP-load distinction.
+func (u *Uop) DestRegClass() RegClass {
+	c := DestClass(u.Class)
+	if u.Class == OpLoad && u.FPDest {
+		return RegFP
+	}
+	return c
+}

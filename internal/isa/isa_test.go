@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOf(t *testing.T) {
+	cases := map[OpClass]Queue{
+		OpNop:    QInt,
+		OpIntALU: QInt,
+		OpIntMul: QInt,
+		OpBranch: QInt,
+		OpFPALU:  QFP,
+		OpFPMul:  QFP,
+		OpLoad:   QLoadStore,
+		OpStore:  QLoadStore,
+	}
+	for c, want := range cases {
+		if got := QueueOf(c); got != want {
+			t.Errorf("QueueOf(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestDestClass(t *testing.T) {
+	cases := map[OpClass]RegClass{
+		OpIntALU: RegInt,
+		OpIntMul: RegInt,
+		OpLoad:   RegInt,
+		OpFPALU:  RegFP,
+		OpFPMul:  RegFP,
+		OpBranch: RegNone,
+		OpStore:  RegNone,
+		OpNop:    RegNone,
+	}
+	for c, want := range cases {
+		if got := DestClass(c); got != want {
+			t.Errorf("DestClass(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestDestRegClassFPLoad(t *testing.T) {
+	u := Uop{Class: OpLoad, Addr: 8, FPDest: true}
+	if got := u.DestRegClass(); got != RegFP {
+		t.Fatalf("FP load dest class = %v, want fp", got)
+	}
+	u.FPDest = false
+	if got := u.DestRegClass(); got != RegInt {
+		t.Fatalf("int load dest class = %v, want int", got)
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for c := OpClass(0); int(c) < NumOpClasses; c++ {
+		want := c == OpLoad || c == OpStore
+		if got := IsMem(c); got != want {
+			t.Errorf("IsMem(%v) = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []Uop{
+		{Class: OpIntALU},
+		{Class: OpLoad, Addr: 64},
+		{Class: OpLoad, Addr: 64, FPDest: true},
+		{Class: OpFPALU, FPDest: true},
+		{Class: OpBranch, Taken: true, Target: 4},
+		{Class: OpBranch, Taken: false},
+		{Class: OpStore, Addr: 8},
+	}
+	for i, u := range valid {
+		if err := u.Validate(); err != nil {
+			t.Errorf("valid uop %d rejected: %v", i, err)
+		}
+	}
+	invalid := []Uop{
+		{Class: OpClass(200)},
+		{Class: OpLoad, Addr: 0},
+		{Class: OpBranch, Taken: true, Target: 0},
+		{Class: OpFPALU, FPDest: false},
+		{Class: OpIntALU, FPDest: true},
+	}
+	for i, u := range invalid {
+		if err := u.Validate(); err == nil {
+			t.Errorf("invalid uop %d accepted", i)
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if OpLoad.String() != "load" || OpFPMul.String() != "fpmul" {
+		t.Error("op class names wrong")
+	}
+	if QInt.String() != "intIQ" || QLoadStore.String() != "lsIQ" {
+		t.Error("queue names wrong")
+	}
+	if RegFP.String() != "fp" || RegNone.String() != "none" {
+		t.Error("reg class names wrong")
+	}
+	if OpClass(99).String() == "" || Queue(9).String() == "" || RegClass(9).String() == "" {
+		t.Error("out-of-range String must not be empty")
+	}
+}
+
+// TestQueueDestConsistency checks the property that every class maps to
+// exactly one queue and its destination class is internally consistent.
+func TestQueueDestConsistency(t *testing.T) {
+	err := quick.Check(func(raw uint8) bool {
+		c := OpClass(raw % uint8(NumOpClasses))
+		q := QueueOf(c)
+		if q >= NumQueues {
+			return false
+		}
+		d := DestClass(c)
+		// FP-queue compute classes must write FP registers.
+		if (c == OpFPALU || c == OpFPMul) && d != RegFP {
+			return false
+		}
+		// Nothing outside the FP queue writes FP (loads use the flag).
+		if q != QFP && d == RegFP {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

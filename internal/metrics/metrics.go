@@ -1,0 +1,84 @@
+// Package metrics computes the multithreaded performance metrics the paper
+// reports: IPC throughput and the Hmean throughput-fairness metric of Luo,
+// Gummaraju and Franklin (ISPASS'01), plus weighted speedup for reference.
+package metrics
+
+import "math"
+
+// Hmean returns the harmonic mean of per-thread relative IPCs
+// (multi-thread IPC over single-thread IPC). It rewards balanced progress:
+// starving one thread to speed another collapses the harmonic mean, which
+// is why the paper prefers it over raw throughput.
+func Hmean(multi, single []float64) float64 {
+	if len(multi) != len(single) || len(multi) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range multi {
+		if single[i] <= 0 || multi[i] <= 0 {
+			return 0
+		}
+		sum += single[i] / multi[i]
+	}
+	return float64(len(multi)) / sum
+}
+
+// WeightedSpeedup returns the sum of per-thread relative IPCs divided by
+// the thread count (Tullsen & Brown's fairness metric, shown for contrast).
+func WeightedSpeedup(multi, single []float64) float64 {
+	if len(multi) != len(single) || len(multi) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range multi {
+		if single[i] <= 0 {
+			return 0
+		}
+		sum += multi[i] / single[i]
+	}
+	return sum / float64(len(multi))
+}
+
+// Throughput returns the sum of per-thread IPCs.
+func Throughput(multi []float64) float64 {
+	var sum float64
+	for _, v := range multi {
+		sum += v
+	}
+	return sum
+}
+
+// Improvement returns the relative improvement of a over b in percent.
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+// GeoMean returns the geometric mean of xs (all values must be positive).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHmeanEqualSpeedups(t *testing.T) {
+	// Every thread at exactly half its single-thread speed: Hmean = 0.5.
+	multi := []float64{1, 2, 0.5}
+	single := []float64{2, 4, 1}
+	if got := Hmean(multi, single); !almost(got, 0.5) {
+		t.Fatalf("Hmean = %v, want 0.5", got)
+	}
+}
+
+func TestHmeanPunishesStarvation(t *testing.T) {
+	single := []float64{2, 2}
+	balanced := Hmean([]float64{1, 1}, single)
+	starved := Hmean([]float64{1.9, 0.1}, single)
+	if starved >= balanced {
+		t.Fatalf("starved (%v) should score below balanced (%v)", starved, balanced)
+	}
+	// Weighted speedup, by contrast, ranks the starved case equal.
+	if ws := WeightedSpeedup([]float64{1.9, 0.1}, single); !almost(ws, 0.5) {
+		t.Fatalf("weighted speedup = %v, want 0.5", ws)
+	}
+}
+
+func TestHmeanDegenerate(t *testing.T) {
+	if Hmean(nil, nil) != 0 {
+		t.Error("empty Hmean should be 0")
+	}
+	if Hmean([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+	if Hmean([]float64{0}, []float64{1}) != 0 {
+		t.Error("zero multi IPC should be 0")
+	}
+	if Hmean([]float64{1}, []float64{0}) != 0 {
+		t.Error("zero baseline should be 0")
+	}
+}
+
+func TestHmeanBoundedByMaxSpeedup(t *testing.T) {
+	err := quick.Check(func(a, b uint16) bool {
+		m := []float64{float64(a%100) + 1, float64(b%100) + 1}
+		s := []float64{50, 50}
+		h := Hmean(m, s)
+		r0, r1 := m[0]/s[0], m[1]/s[1]
+		lo, hi := math.Min(r0, r1), math.Max(r0, r1)
+		return h >= lo-1e-9 && h <= hi+1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput([]float64{1, 2, 3}); !almost(got, 6) {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if Throughput(nil) != 0 {
+		t.Fatal("empty throughput should be 0")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(1.1, 1.0); !almost(got, 10) {
+		t.Fatalf("Improvement = %v, want 10", got)
+	}
+	if got := Improvement(0.9, 1.0); !almost(got, -10) {
+		t.Fatalf("Improvement = %v, want -10", got)
+	}
+	if Improvement(1, 0) != 0 {
+		t.Fatal("zero base should yield 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2) {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("non-positive input should yield 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); !almost(got, 2) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+// Harmonic mean is always <= arithmetic mean of the relative IPCs.
+func TestHmeanLEArithmetic(t *testing.T) {
+	err := quick.Check(func(a, b, c uint16) bool {
+		m := []float64{float64(a%50) + 1, float64(b%50) + 1, float64(c%50) + 1}
+		s := []float64{25, 25, 25}
+		h := Hmean(m, s)
+		arith := (m[0]/s[0] + m[1]/s[1] + m[2]/s[2]) / 3
+		return h <= arith+1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

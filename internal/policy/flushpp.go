@@ -1,0 +1,97 @@
+package policy
+
+import "dcra/internal/cpu"
+
+// FlushPP is FLUSH++ (Cazorla et al., ISHPC'03): it monitors the cache
+// behaviour of the running threads and dynamically selects between STALL
+// (better when pressure on resources is low: few threads missing in L2)
+// and FLUSH (better under high pressure: several threads missing often).
+//
+// Classification runs over a sliding window: a thread is "high-miss" when
+// its L2 misses per kilo committed instruction exceed a threshold. With at
+// least MemThreadsForFlush high-miss threads the policy behaves as FLUSH;
+// otherwise as STALL.
+type FlushPP struct {
+	// WindowCycles is the re-classification period.
+	WindowCycles uint64
+	// MPKIThreshold marks a thread high-miss when its windowed L2 misses
+	// per 1000 committed instructions reach it.
+	MPKIThreshold float64
+	// MemThreadsForFlush is the number of high-miss threads that switches
+	// the policy into FLUSH mode.
+	MemThreadsForFlush int
+
+	flushMode  bool
+	flushed    []bool
+	lastL2     []uint64
+	lastCommit []uint64
+	nextEval   uint64
+}
+
+// NewFlushPP returns FLUSH++ with the defaults used in the experiments.
+func NewFlushPP() *FlushPP {
+	return &FlushPP{WindowCycles: 8192, MPKIThreshold: 2, MemThreadsForFlush: 2}
+}
+
+// Name implements cpu.Policy.
+func (*FlushPP) Name() string { return "FLUSH++" }
+
+// Tick implements cpu.Policy: re-classify periodically, and fire flushes
+// when in FLUSH mode.
+func (f *FlushPP) Tick(m *cpu.Machine) {
+	nt := m.NumThreads()
+	if f.flushed == nil {
+		f.flushed = make([]bool, nt)
+		f.lastL2 = make([]uint64, nt)
+		f.lastCommit = make([]uint64, nt)
+		f.flushMode = true // conservative start; first window corrects it
+	}
+	if m.Cycle() >= f.nextEval {
+		f.reclassify(m)
+		f.nextEval = m.Cycle() + f.WindowCycles
+	}
+	for t := 0; t < nt; t++ {
+		if m.PendingL2(t) == 0 {
+			f.flushed[t] = false
+			continue
+		}
+		if f.flushMode && !f.flushed[t] {
+			m.FlushThread(t)
+			f.flushed[t] = true
+		}
+	}
+}
+
+func (f *FlushPP) reclassify(m *cpu.Machine) {
+	st := m.Stats()
+	high := 0
+	for t := range st.Threads {
+		l2 := st.Threads[t].L2DMisses
+		com := st.Threads[t].Committed
+		dl2 := l2 - f.lastL2[t]
+		dcom := com - f.lastCommit[t]
+		f.lastL2[t], f.lastCommit[t] = l2, com
+		if dcom == 0 {
+			// A thread that committed nothing all window is wedged on
+			// misses: treat as high-miss.
+			if dl2 > 0 || st.Threads[t].Committed == 0 {
+				high++
+			}
+			continue
+		}
+		if 1000*float64(dl2)/float64(dcom) >= f.MPKIThreshold {
+			high++
+		}
+	}
+	f.flushMode = high >= f.MemThreadsForFlush
+}
+
+// Rank implements cpu.Policy.
+func (*FlushPP) Rank(m *cpu.Machine, ts []int) { cpu.RankByICount(m, ts) }
+
+// Gate implements cpu.Policy: both modes stall the missing thread.
+func (f *FlushPP) Gate(m *cpu.Machine, t int) bool { return m.PendingL2(t) > 0 }
+
+// FlushMode reports the current operating mode (true = FLUSH); exposed for
+// tests and reports.
+func (f *FlushPP) FlushMode() bool { return f.flushMode }

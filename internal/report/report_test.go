@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.AddRow("a", 1)
+	tbl.AddRow("longer-name", 2.5)
+	tbl.AddNote("a note with %d", 42)
+	out := tbl.String()
+
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "longer-name") {
+		t.Error("missing row")
+	}
+	if !strings.Contains(out, "2.500") {
+		t.Error("floats must render with 3 decimals")
+	}
+	if !strings.Contains(out, "note: a note with 42") {
+		t.Error("missing note")
+	}
+	// Header separator present.
+	if !strings.Contains(out, "----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := NewTable("demo", "a", "b")
+	tbl.AddRow("x", 1)
+	var b strings.Builder
+	tbl.RenderCSV(&b)
+	out := b.String()
+	want := "# demo\na,b\nx,1\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestMixedCellTypes(t *testing.T) {
+	tbl := NewTable("", "c")
+	tbl.AddRow(uint64(7))
+	tbl.AddRow(true)
+	out := tbl.String()
+	if !strings.Contains(out, "7") || !strings.Contains(out, "true") {
+		t.Fatalf("default formatting broken: %q", out)
+	}
+}

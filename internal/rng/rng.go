@@ -1,0 +1,165 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used by the synthetic workload generator and the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: two runs
+// with the same seed must produce bit-identical instruction streams and
+// therefore identical simulation results. math/rand would work, but its
+// global state and historical Seed semantics make accidental coupling easy;
+// a tiny local SplitMix64/xoshiro combination keeps every stream independent
+// and explicit.
+package rng
+
+// Source is a deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield independent
+// streams for all practical purposes.
+func New(seed uint64) *Source {
+	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed resets the generator to the state derived from seed.
+func (s *Source) Reseed(seed uint64) {
+	// SplitMix64 to spread the seed across the full state, avoiding the
+	// all-zero state xoshiro cannot escape.
+	x := seed
+	for i := range s.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s.s[i] = z ^ (z >> 31)
+	}
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (support {1, 2, ...}). Used for dependency distances: mean m implies
+// success probability 1/m per trial. For m <= 1 it always returns 1.
+func (s *Source) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1 / m
+	// Inverse-CDF sampling keeps this O(1) regardless of the mean.
+	u := s.Float64()
+	// ceil(log(1-u)/log(1-p)) without importing math: iterate only for the
+	// tiny fraction of cases where the fast path overflows is not worth it;
+	// use the math-free iterative fallback only for pathological u.
+	return geomFromUniform(u, p)
+}
+
+// geomFromUniform converts a uniform sample into a geometric sample.
+func geomFromUniform(u, p float64) int {
+	// Iterative CDF walk, capped to keep worst case bounded. The cap at 4096
+	// only truncates an O(e^-40) tail for realistic means (<= 100).
+	q := 1 - p
+	cdf := p
+	tail := p
+	for k := 1; k < 4096; k++ {
+		if u < cdf {
+			return k
+		}
+		tail *= q
+		cdf += tail
+	}
+	return 4096
+}
+
+// Pick returns an index in [0, len(weights)) with probability proportional
+// to weights[i]. Zero or negative total weight returns 0.
+func (s *Source) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Split derives a new independent Source from this one. Useful to hand each
+// thread or each model component its own stream so that consuming randomness
+// in one never perturbs another.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xa0761d6478bd642f)
+}

@@ -1,0 +1,134 @@
+// Package sim orchestrates simulations: it runs multiprogrammed workloads
+// under a chosen policy with warmup, collects metrics, and maintains the
+// single-thread baselines the Hmean metric needs.
+package sim
+
+import (
+	"fmt"
+
+	"dcra/internal/config"
+	"dcra/internal/cpu"
+	"dcra/internal/metrics"
+	"dcra/internal/policy"
+	"dcra/internal/stats"
+	"dcra/internal/trace"
+	"dcra/internal/workload"
+)
+
+// PolicyFactory constructs a fresh policy instance per run (policies carry
+// per-run state such as flush episodes or miss-predictor tables).
+type PolicyFactory func() cpu.Policy
+
+// Result summarises one simulation run.
+type Result struct {
+	Workload workload.Workload
+	Policy   string
+	Stats    *stats.Stats
+
+	IPCs       []float64 // per-thread IPC
+	Throughput float64   // sum of IPCs
+	Hmean      float64   // harmonic mean of relative IPCs (0 if baselines missing)
+	WSpeedup   float64
+}
+
+// Runner executes simulations with fixed warmup/measurement windows and a
+// fixed seed, and caches single-thread baselines per configuration.
+type Runner struct {
+	Warmup  uint64 // cycles simulated before statistics reset
+	Measure uint64 // measured cycles
+	Seed    uint64
+
+	baseline map[string]float64 // (config key | benchmark) -> single-thread IPC
+}
+
+// NewRunner returns a Runner with the default windows used throughout the
+// experiments (50k warmup + 300k measured cycles).
+func NewRunner() *Runner {
+	return &Runner{Warmup: 50_000, Measure: 300_000, Seed: 0x5eed_dc2a}
+}
+
+// RunMachine builds a machine for (cfg, profiles, policy) and runs the
+// warmup+measure protocol, returning the machine for inspection.
+func (r *Runner) RunMachine(cfg config.Config, profiles []trace.Profile, pol cpu.Policy) (*cpu.Machine, error) {
+	m, err := cpu.New(cfg, profiles, pol, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m.Run(r.Warmup)
+	m.ResetStats()
+	m.Run(r.Measure)
+	return m, nil
+}
+
+// RunWorkload executes one Table 4 workload under the policy from mk and
+// computes all metrics (Hmean uses cached single-thread baselines on the
+// same configuration).
+func (r *Runner) RunWorkload(cfg config.Config, w workload.Workload, mk PolicyFactory) (Result, error) {
+	pol := mk()
+	m, err := r.RunMachine(cfg, w.Profiles(), pol)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: workload %s under %s: %w", w.ID(), pol.Name(), err)
+	}
+	st := m.Stats()
+	res := Result{Workload: w, Policy: pol.Name(), Stats: st}
+	res.IPCs = make([]float64, len(w.Names))
+	single := make([]float64, len(w.Names))
+	for i := range w.Names {
+		res.IPCs[i] = st.Threads[i].IPC(st.Cycles)
+		s, err := r.SingleIPC(cfg, w.Names[i])
+		if err != nil {
+			return Result{}, err
+		}
+		single[i] = s
+	}
+	res.Throughput = metrics.Throughput(res.IPCs)
+	res.Hmean = metrics.Hmean(res.IPCs, single)
+	res.WSpeedup = metrics.WeightedSpeedup(res.IPCs, single)
+	return res, nil
+}
+
+// SingleIPC returns the single-thread IPC of a benchmark on cfg, simulating
+// it on first use and caching thereafter. Baselines use ICOUNT (with one
+// thread every non-partitioning policy behaves identically).
+func (r *Runner) SingleIPC(cfg config.Config, name string) (float64, error) {
+	key := cfgKey(cfg) + "|" + name
+	if v, ok := r.baseline[key]; ok {
+		return v, nil
+	}
+	m, err := r.RunMachine(cfg, []trace.Profile{trace.MustProfile(name)}, policy.NewICount())
+	if err != nil {
+		return 0, fmt.Errorf("sim: baseline %s: %w", name, err)
+	}
+	ipc := m.Stats().Threads[0].IPC(m.Stats().Cycles)
+	if r.baseline == nil {
+		r.baseline = make(map[string]float64)
+	}
+	r.baseline[key] = ipc
+	return ipc, nil
+}
+
+// cfgKey folds the configuration into a cache key. %+v over the value type
+// is stable for a struct of scalars and covers every sweep dimension.
+func cfgKey(cfg config.Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// CapPolicy is a utility policy for resource-restriction studies (the
+// paper's Figure 2): ICOUNT fetch with fixed per-thread caps on selected
+// resources, no gating.
+type CapPolicy struct {
+	Caps [cpu.NumResources]int // 0 = unlimited
+}
+
+// Name implements cpu.Policy.
+func (*CapPolicy) Name() string { return "CAP" }
+
+// Tick implements cpu.Policy.
+func (*CapPolicy) Tick(*cpu.Machine) {}
+
+// Rank implements cpu.Policy.
+func (*CapPolicy) Rank(m *cpu.Machine, ts []int) { cpu.RankByICount(m, ts) }
+
+// Gate implements cpu.Policy.
+func (*CapPolicy) Gate(*cpu.Machine, int) bool { return false }
+
+// Cap implements cpu.Partitioner.
+func (c *CapPolicy) Cap(m *cpu.Machine, t int, r cpu.Resource) int { return c.Caps[r] }

@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThreadDerivedMetrics(t *testing.T) {
+	ts := ThreadStats{
+		Committed: 1000, Branches: 100, BranchMispred: 5,
+		L1DMisses: 50, L2DMisses: 10,
+	}
+	if got := ts.IPC(2000); got != 0.5 {
+		t.Errorf("IPC = %v, want 0.5", got)
+	}
+	if got := ts.IPC(0); got != 0 {
+		t.Errorf("IPC with zero cycles = %v", got)
+	}
+	if got := ts.L2MissRate(); got != 20 {
+		t.Errorf("L2 miss rate = %v, want 20", got)
+	}
+	if got := ts.MispredictRate(); got != 5 {
+		t.Errorf("mispredict rate = %v, want 5", got)
+	}
+	empty := ThreadStats{}
+	if empty.L2MissRate() != 0 || empty.MispredictRate() != 0 {
+		t.Error("zero-denominator rates must be 0")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := New(2)
+	s.Cycles = 1000
+	s.Threads[0].Committed = 500
+	s.Threads[1].Committed = 1500
+	s.Threads[0].Fetched = 700
+	s.Threads[1].Fetched = 1800
+	if got := s.TotalCommitted(); got != 2000 {
+		t.Errorf("TotalCommitted = %d", got)
+	}
+	if got := s.Throughput(); got != 2.0 {
+		t.Errorf("Throughput = %v", got)
+	}
+	if got := s.TotalFetched(); got != 2500 {
+		t.Errorf("TotalFetched = %d", got)
+	}
+}
+
+func TestAvgMLP(t *testing.T) {
+	s := New(1)
+	if s.AvgMLP() != 0 {
+		t.Error("empty MLP must be 0")
+	}
+	s.MLPSum, s.MLPCycles = 30, 10
+	if got := s.AvgMLP(); got != 3 {
+		t.Errorf("AvgMLP = %v", got)
+	}
+}
+
+func TestStringContainsPerThread(t *testing.T) {
+	s := New(2)
+	s.Cycles = 10
+	s.Threads[1].Committed = 5
+	out := s.String()
+	if !strings.Contains(out, "t0:") || !strings.Contains(out, "t1:") {
+		t.Fatalf("summary missing threads: %q", out)
+	}
+}

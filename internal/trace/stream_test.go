@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcra/internal/isa"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for name, p := range Benchmarks() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("map key %q != profile name %q", name, p.Name)
+		}
+	}
+}
+
+func TestNamesCoverBenchmarks(t *testing.T) {
+	names := Names()
+	bm := Benchmarks()
+	if len(names) != len(bm) {
+		t.Fatalf("Names() has %d entries, Benchmarks() %d", len(names), len(bm))
+	}
+	for _, n := range names {
+		if _, ok := bm[n]; !ok {
+			t.Errorf("Names() lists unknown benchmark %q", n)
+		}
+	}
+}
+
+func TestTaxonomyMatchesPaperTable3(t *testing.T) {
+	// The paper's split: MEM iff L2 miss rate >= 1%.
+	for name, p := range Benchmarks() {
+		wantMem := p.PaperL2MissRate >= 1.0
+		if p.Mem != wantMem {
+			t.Errorf("%s: Mem=%v but paper rate %.2f%%", name, p.Mem, p.PaperL2MissRate)
+		}
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(MustProfile("gcc"), 0, 99)
+	b := NewStream(MustProfile("gcc"), 0, 99)
+	for i := uint64(0); i < 20000; i++ {
+		ua, ub := *a.At(i), *b.At(i)
+		if ua != ub {
+			t.Fatalf("streams diverged at %d: %+v vs %+v", i, ua, ub)
+		}
+	}
+}
+
+func TestStreamsDifferAcrossThreadsAndSeeds(t *testing.T) {
+	base := NewStream(MustProfile("gcc"), 0, 99)
+	otherThread := NewStream(MustProfile("gcc"), 1, 99)
+	otherSeed := NewStream(MustProfile("gcc"), 0, 100)
+	same1, same2 := 0, 0
+	for i := uint64(0); i < 1000; i++ {
+		if base.At(i).Class == otherThread.At(i).Class {
+			same1++
+		}
+		if base.At(i).Class == otherSeed.At(i).Class {
+			same2++
+		}
+	}
+	if same1 == 1000 || same2 == 1000 {
+		t.Fatal("streams for different threads/seeds are identical")
+	}
+}
+
+func TestReplayAfterRelease(t *testing.T) {
+	s := NewStream(MustProfile("gzip"), 0, 7)
+	// Generate ahead, snapshot a window, release a prefix, then re-read.
+	var snap []isa.Uop
+	for i := uint64(0); i < 5000; i++ {
+		snap = append(snap, *s.At(i))
+	}
+	s.Release(3000)
+	for i := uint64(3000); i < 5000; i++ {
+		if got := *s.At(i); got != snap[i] {
+			t.Fatalf("replay mismatch at %d", i)
+		}
+	}
+}
+
+func TestReleasedAccessPanics(t *testing.T) {
+	s := NewStream(MustProfile("gzip"), 0, 7)
+	for i := uint64(0); i < 3000; i++ {
+		s.At(i)
+	}
+	s.Release(2000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At() below the release point must panic")
+		}
+	}()
+	s.At(100)
+}
+
+func TestUopsStructurallyValid(t *testing.T) {
+	for _, name := range []string{"mcf", "gzip", "swim", "eon"} {
+		s := NewStream(MustProfile(name), 0, 3)
+		for i := uint64(0); i < 20000; i++ {
+			u := s.At(i)
+			if err := u.Validate(); err != nil {
+				t.Fatalf("%s uop %d: %v", name, i, err)
+			}
+			if u.Index != i {
+				t.Fatalf("%s uop %d has index %d", name, i, u.Index)
+			}
+			s.Release(i)
+		}
+	}
+}
+
+func TestStaticCode(t *testing.T) {
+	// The same PC must always host the same instruction class.
+	s := NewStream(MustProfile("gcc"), 0, 1)
+	classes := map[uint64]isa.OpClass{}
+	for i := uint64(0); i < 50000; i++ {
+		u := s.At(i)
+		if prev, ok := classes[u.PC]; ok && prev != u.Class {
+			t.Fatalf("PC %#x changed class %v -> %v", u.PC, prev, u.Class)
+		}
+		classes[u.PC] = u.Class
+		s.Release(i)
+	}
+}
+
+func TestBranchTargetsStablePerSite(t *testing.T) {
+	s := NewStream(MustProfile("gzip"), 0, 5)
+	targets := map[uint64]uint64{}
+	for i := uint64(0); i < 100000; i++ {
+		u := s.At(i)
+		if u.Class == isa.OpBranch && u.Taken && u.CallKind == isa.CallNone {
+			if prev, ok := targets[u.PC]; ok && prev != u.Target {
+				t.Fatalf("branch at %#x changed target %#x -> %#x", u.PC, prev, u.Target)
+			}
+			targets[u.PC] = u.Target
+		}
+		s.Release(i)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no taken branches observed")
+	}
+}
+
+func TestInstructionMixRoughlyMatchesProfile(t *testing.T) {
+	p := MustProfile("gcc")
+	s := NewStream(p, 0, 11)
+	var loads, branches, total float64
+	for i := uint64(0); i < 200000; i++ {
+		u := s.At(i)
+		total++
+		switch u.Class {
+		case isa.OpLoad:
+			loads++
+		case isa.OpBranch:
+			branches++
+		}
+		s.Release(i)
+	}
+	// Dynamic frequencies deviate from static fractions (loops weight PCs
+	// unevenly); allow a wide band.
+	if f := loads / total; f < p.LoadFrac*0.5 || f > p.LoadFrac*1.6 {
+		t.Errorf("load fraction %.3f far from profile %.3f", f, p.LoadFrac)
+	}
+	if f := branches / total; f < p.BranchFrac*0.4 || f > p.BranchFrac*1.8 {
+		t.Errorf("branch fraction %.3f far from profile %.3f", f, p.BranchFrac)
+	}
+}
+
+func TestAddressesStayInRegions(t *testing.T) {
+	s := NewStream(MustProfile("art"), 0, 13)
+	fp := s.Footprint()
+	for i := uint64(0); i < 50000; i++ {
+		u := s.At(i)
+		if isa.IsMem(u.Class) {
+			if u.Addr < fp.HotBase {
+				t.Fatalf("data address %#x below hot base %#x", u.Addr, fp.HotBase)
+			}
+		} else if u.PC < fp.CodeBase || u.PC >= fp.CodeBase+uint64(fp.CodeBytes) {
+			t.Fatalf("PC %#x outside code region", u.PC)
+		}
+		s.Release(i)
+	}
+}
+
+func TestCallStackBalance(t *testing.T) {
+	// Returns must always target a previously pushed call's fall-through.
+	s := NewStream(MustProfile("eon"), 0, 17)
+	var stack []uint64
+	for i := uint64(0); i < 200000; i++ {
+		u := s.At(i)
+		switch u.CallKind {
+		case isa.CallDirect:
+			stack = append(stack, u.PC+4)
+		case isa.CallReturn:
+			if len(stack) == 0 {
+				t.Fatalf("return at %d with empty call stack", i)
+			}
+			want := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if u.Target != want {
+				t.Fatalf("return target %#x, want %#x", u.Target, want)
+			}
+		}
+		s.Release(i)
+	}
+}
+
+func TestWrongPathDeterministicPerDraw(t *testing.T) {
+	a := NewStream(MustProfile("gzip"), 0, 23)
+	b := NewStream(MustProfile("gzip"), 0, 23)
+	pc := a.Footprint().CodeBase
+	for i := 0; i < 1000; i++ {
+		ua, ub := a.WrongPath(pc), b.WrongPath(pc)
+		if ua != ub {
+			t.Fatalf("wrong-path streams diverged at draw %d", i)
+		}
+		pc = a.NextWrongPC(&ua)
+		if pc != b.NextWrongPC(&ub) {
+			t.Fatal("NextWrongPC diverged")
+		}
+	}
+}
+
+func TestWrongPathStaysInCode(t *testing.T) {
+	s := NewStream(MustProfile("gcc"), 0, 29)
+	fp := s.Footprint()
+	pc := fp.CodeBase + 4096
+	for i := 0; i < 5000; i++ {
+		u := s.WrongPath(pc)
+		if u.PC < fp.CodeBase || u.PC >= fp.CodeBase+uint64(fp.CodeBytes) {
+			t.Fatalf("wrong-path PC %#x escaped the code region", u.PC)
+		}
+		if !u.WrongPath {
+			t.Fatal("wrong-path uop not flagged")
+		}
+		pc = s.NextWrongPC(&u)
+	}
+}
+
+func TestValidateRejectsBrokenProfiles(t *testing.T) {
+	base := MustProfile("gzip")
+	mods := map[string]func(*Profile){
+		"no name":       func(p *Profile) { p.Name = "" },
+		"mix over 1":    func(p *Profile) { p.LoadFrac = 0.9; p.StoreFrac = 0.2 },
+		"negative frac": func(p *Profile) { p.ChaseProb = -0.1 },
+		"dep below 1":   func(p *Profile) { p.MeanDep = 0.5 },
+		"zero code":     func(p *Profile) { p.CodeBytes = 0 },
+		"zero phase":    func(p *Profile) { p.PhaseLen = 0 },
+	}
+	for name, mod := range mods {
+		p := base
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGeometricDepDistances(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		s := NewStream(MustProfile("bzip2"), 0, seed)
+		for i := uint64(0); i < 200; i++ {
+			u := s.At(i)
+			if uint64(u.Dep1) > i || uint64(u.Dep2) > i {
+				return false // dependence beyond program start
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
