@@ -40,7 +40,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := quickSuite()
-		res, err := experiments.Figure2(s.Runner, []string{"gzip", "swim"})
+		res, err := experiments.Figure2(s, []string{"gzip", "swim"})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := quickSuite()
-		rows, err := experiments.Table3(s.Runner,
+		rows, err := experiments.Table3(s,
 			[]string{"mcf", "art", "swim", "twolf"})
 		if err != nil {
 			b.Fatal(err)

@@ -1,0 +1,122 @@
+// Command benchjson records the repo's performance trajectory as JSON: raw
+// simulator speed (the same measurement as BenchmarkSimulatorSpeed) and the
+// quick-suite Figure 5 wall-clock plus allocation totals (the same
+// measurement as BenchmarkFigure5). CI and PERFORMANCE.md use it to track
+// ns/cycle across PRs without parsing `go test -bench` output.
+//
+// Usage:
+//
+//	benchjson                      # writes bench.json in the working dir
+//	benchjson -out BENCH_PR2.json  # the committed per-PR trajectory points
+//	benchjson -cycles 2000000      # longer simulator-speed measurement
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dcra"
+	"dcra/internal/experiments"
+)
+
+// Record is the JSON schema of one trajectory point.
+type Record struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Workers     int    `json:"workers"`
+
+	// Raw cycle-kernel speed, BenchmarkSimulatorSpeed's measurement.
+	SimCycles   uint64  `json:"sim_cycles"`
+	NsPerCycle  float64 `json:"ns_per_cycle"`
+	SimThreads  int     `json:"sim_threads"`
+	SimPolicy   string  `json:"sim_policy"`
+	SimDuration float64 `json:"sim_duration_seconds"`
+
+	// Quick-suite Figure 5, BenchmarkFigure5's measurement.
+	Figure5Seconds    float64 `json:"figure5_quick_seconds"`
+	Figure5AllocBytes uint64  `json:"figure5_alloc_bytes"`
+	Figure5Allocs     uint64  `json:"figure5_allocs"`
+
+	// Headline reproduction metrics, to confirm optimisation did not move
+	// the science.
+	VsICount  float64 `json:"fig5_hmean_vs_icount_pct"`
+	VsDG      float64 `json:"fig5_hmean_vs_dg_pct"`
+	VsFlushPP float64 `json:"fig5_hmean_vs_flushpp_pct"`
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "bench.json", "output JSON path")
+		cycles = flag.Uint64("cycles", 1_000_000, "cycles for the simulator-speed measurement")
+	)
+	flag.Parse()
+	if *cycles == 0 {
+		fatal(fmt.Errorf("-cycles must be > 0"))
+	}
+
+	rec := Record{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// Raw simulator speed: the 4-thread DCRA machine of
+	// BenchmarkSimulatorSpeed, 5k warmup then a timed run.
+	m, err := dcra.NewMachine(dcra.BaselineConfig(), []dcra.Profile{
+		dcra.MustProfile("gzip"), dcra.MustProfile("mcf"),
+		dcra.MustProfile("art"), dcra.MustProfile("eon"),
+	}, dcra.NewDCRA(), 1)
+	if err != nil {
+		fatal(err)
+	}
+	m.Run(5_000)
+	start := time.Now()
+	m.Run(*cycles)
+	simDur := time.Since(start)
+	rec.SimCycles = *cycles
+	rec.NsPerCycle = float64(simDur.Nanoseconds()) / float64(*cycles)
+	rec.SimThreads = 4
+	rec.SimPolicy = "DCRA"
+	rec.SimDuration = simDur.Seconds()
+
+	// Quick-suite Figure 5 wall-clock and allocation totals, using the same
+	// reduced windows as BenchmarkFigure5.
+	s := experiments.NewQuickSuite()
+	s.Runner.Warmup, s.Runner.Measure = 15_000, 60_000
+	rec.Workers = s.Engine.Workers()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	f5, err := experiments.Figure5(s)
+	if err != nil {
+		fatal(err)
+	}
+	rec.Figure5Seconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	rec.Figure5AllocBytes = after.TotalAlloc - before.TotalAlloc
+	rec.Figure5Allocs = after.Mallocs - before.Mallocs
+	rec.VsICount = f5.AvgHmeanImprovement[experiments.PolICount]
+	rec.VsDG = f5.AvgHmeanImprovement[experiments.PolDG]
+	rec.VsFlushPP = f5.AvgHmeanImprovement[experiments.PolFlushPP]
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: %.0f ns/cycle, figure5 quick %.1fs (%d workers) -> %s\n",
+		rec.NsPerCycle, rec.Figure5Seconds, rec.Workers, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

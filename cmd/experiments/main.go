@@ -66,14 +66,14 @@ func main() {
 		emit("table4", table4Report())
 	}
 	if sel("tab3") {
-		rows, err := experiments.Table3(s.Runner, nil)
+		rows, err := experiments.Table3(s, nil)
 		if err != nil {
 			fatal(err)
 		}
 		emit("table3", experiments.Table3Report(rows))
 	}
 	if sel("fig2") {
-		f2, err := experiments.Figure2(s.Runner, nil)
+		f2, err := experiments.Figure2(s, nil)
 		if err != nil {
 			fatal(err)
 		}

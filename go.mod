@@ -1,0 +1,3 @@
+module dcra
+
+go 1.24

@@ -3,8 +3,18 @@ package cache
 // TLB is a fully-associative translation lookaside buffer with LRU
 // replacement. The simulator runs on synthetic addresses, so "translation"
 // is only a presence check: a miss costs the configured penalty.
+//
+// Lookups are O(1): a page->slot index makes the hit path a single map
+// probe plus an LRU stamp update. The O(n) victim search runs only on a
+// miss with a full TLB, and misses are rare by construction (the TLB covers
+// the resident working set after pre-warming). Replacement order is
+// identical to the previous linear-scan implementation: invalid slots fill
+// top-down first, then the minimum-stamp (LRU) entry is evicted, ties
+// resolved toward the lowest slot index.
 type TLB struct {
 	entries  []line
+	index    map[uint64]int32 // page -> slot of a valid entry
+	valid    int              // number of valid entries; slots fill top-down
 	pageBits uint
 	stamp    uint64
 
@@ -18,7 +28,11 @@ func NewTLB(n, pageBytes int) *TLB {
 	for l := pageBytes; l > 1; l >>= 1 {
 		bits++
 	}
-	return &TLB{entries: make([]line, n), pageBits: bits}
+	return &TLB{
+		entries:  make([]line, n),
+		index:    make(map[uint64]int32, n),
+		pageBits: bits,
+	}
 }
 
 // Access looks up the page of addr, allocating on miss. It reports a hit.
@@ -26,21 +40,12 @@ func (t *TLB) Access(addr uint64) bool {
 	t.Accesses++
 	t.stamp++
 	page := addr >> t.pageBits
-	victim := 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.tag == page {
-			e.lru = t.stamp
-			return true
-		}
-		if !e.valid {
-			victim = i
-		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
-			victim = i
-		}
+	if i, ok := t.index[page]; ok {
+		t.entries[i].lru = t.stamp
+		return true
 	}
 	t.Misses++
-	t.entries[victim] = line{tag: page, valid: true, lru: t.stamp}
+	t.insertPage(page)
 	return false
 }
 
@@ -49,20 +54,30 @@ func (t *TLB) Access(addr uint64) bool {
 func (t *TLB) Insert(addr uint64) {
 	t.stamp++
 	page := addr >> t.pageBits
-	victim := 0
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.tag == page {
-			e.lru = t.stamp
-			return
+	if i, ok := t.index[page]; ok {
+		t.entries[i].lru = t.stamp
+		return
+	}
+	t.insertPage(page)
+}
+
+// insertPage places page into a free slot (top-down fill) or evicts the LRU
+// entry.
+func (t *TLB) insertPage(page uint64) {
+	var victim int32
+	if t.valid < len(t.entries) {
+		victim = int32(len(t.entries) - 1 - t.valid)
+		t.valid++
+	} else {
+		for i := range t.entries {
+			if t.entries[i].lru < t.entries[victim].lru {
+				victim = int32(i)
+			}
 		}
-		if !e.valid {
-			victim = i
-		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
-			victim = i
-		}
+		delete(t.index, t.entries[victim].tag)
 	}
 	t.entries[victim] = line{tag: page, valid: true, lru: t.stamp}
+	t.index[page] = victim
 }
 
 // MissRate returns misses per access in percent.

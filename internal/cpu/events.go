@@ -17,7 +17,7 @@ const (
 
 // event schedules the completion of an in-flight uop. Squashed uops leave
 // stale events behind; validity is re-checked against the ROB generation at
-// delivery time, which is cheaper than heap removal.
+// delivery time, which is cheaper than removal.
 type event struct {
 	at     uint64
 	thread int32
@@ -26,56 +26,62 @@ type event struct {
 	gen    uint32
 }
 
-// eventHeap is a binary min-heap on completion time. A hand-rolled heap
-// (rather than container/heap) keeps the hot path free of interface calls
-// and allocations.
-type eventHeap struct {
-	es []event
+const (
+	// eventRingSize bounds how far ahead an event may be scheduled while
+	// staying O(1): the longest access chain (TLB penalty + L1 + L2 + main
+	// memory + MSHR-full serialisation) stays under 2048 cycles for every
+	// configuration the experiments sweep. Farther events spill into the
+	// overflow list, which stays empty in practice.
+	eventRingSize = 2048
+	eventRingMask = eventRingSize - 1
+)
+
+// eventQueue is a calendar queue: one FIFO bucket per future cycle in a
+// fixed ring. Push and pop are O(1) with zero steady-state allocation
+// (bucket slices keep their capacity), replacing a binary heap whose
+// sift-up/down was ~10% of simulation time. Within a cycle, events deliver
+// in push order, which is deterministic.
+type eventQueue struct {
+	buckets  [][]event
+	base     uint64 // all events at cycles < base have been delivered
+	overflow []event
 }
 
-func (h *eventHeap) len() int { return len(h.es) }
-
-func (h *eventHeap) push(e event) {
-	h.es = append(h.es, e)
-	i := len(h.es) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h.es[parent].at <= h.es[i].at {
-			break
-		}
-		h.es[parent], h.es[i] = h.es[i], h.es[parent]
-		i = parent
+func newEventQueue() eventQueue {
+	// Carve every bucket's initial capacity out of one contiguous block:
+	// growing 2048 buckets individually from nil costs a few reallocations
+	// each, which dominated the per-machine allocation count.
+	const perBucket = 8
+	backing := make([]event, eventRingSize*perBucket)
+	buckets := make([][]event, eventRingSize)
+	for i := range buckets {
+		buckets[i] = backing[i*perBucket : i*perBucket : (i+1)*perBucket]
 	}
+	return eventQueue{buckets: buckets}
 }
 
-// peekAt returns the earliest completion time; ok is false when empty.
-func (h *eventHeap) peekAt() (uint64, bool) {
-	if len(h.es) == 0 {
-		return 0, false
+// push schedules e; e.at must be >= the current drain cycle.
+func (q *eventQueue) push(e event) {
+	if e.at-q.base < eventRingSize {
+		b := e.at & eventRingMask
+		q.buckets[b] = append(q.buckets[b], e)
+		return
 	}
-	return h.es[0].at, true
+	q.overflow = append(q.overflow, e)
 }
 
-func (h *eventHeap) pop() event {
-	top := h.es[0]
-	last := len(h.es) - 1
-	h.es[0] = h.es[last]
-	h.es = h.es[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l <= last-1 && h.es[l].at < h.es[small].at {
-			small = l
+// ripen moves overflow events that now fit the ring horizon into their
+// buckets. Called as base advances; overflow is empty in practice.
+func (q *eventQueue) ripen() {
+	w := 0
+	for _, e := range q.overflow {
+		if e.at-q.base < eventRingSize {
+			b := e.at & eventRingMask
+			q.buckets[b] = append(q.buckets[b], e)
+			continue
 		}
-		if r <= last-1 && h.es[r].at < h.es[small].at {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		h.es[i], h.es[small] = h.es[small], h.es[i]
-		i = small
+		q.overflow[w] = e
+		w++
 	}
-	return top
+	q.overflow = q.overflow[:w]
 }

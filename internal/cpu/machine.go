@@ -32,25 +32,37 @@ type feEntry struct {
 	rasTop       int32
 }
 
-// frontEnd is a fixed-capacity FIFO modelling a thread's decode/rename pipe.
+// frontEnd is a fixed-capacity FIFO modelling a thread's decode/rename
+// pipe. The ring is sized to the next power of two so the hot push/pop
+// paths mask instead of dividing; limit keeps the modelled capacity exact.
 type frontEnd struct {
 	ring  []feEntry
+	mask  int
 	head  int
 	count int
+	limit int
 }
 
-func (f *frontEnd) full() bool  { return f.count == len(f.ring) }
+func newFrontEnd(capacity int) frontEnd {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return frontEnd{ring: make([]feEntry, n), mask: n - 1, limit: capacity}
+}
+
+func (f *frontEnd) full() bool  { return f.count == f.limit }
 func (f *frontEnd) empty() bool { return f.count == 0 }
 
 func (f *frontEnd) push(e feEntry) {
-	f.ring[(f.head+f.count)%len(f.ring)] = e
+	f.ring[(f.head+f.count)&f.mask] = e
 	f.count++
 }
 
 func (f *frontEnd) peek() *feEntry { return &f.ring[f.head] }
 
 func (f *frontEnd) pop() {
-	f.head = (f.head + 1) % len(f.ring)
+	f.head = (f.head + 1) & f.mask
 	f.count--
 }
 
@@ -106,7 +118,7 @@ type Machine struct {
 	// consume it in Tick.
 	allocFlags [][NumResources]bool
 
-	events eventHeap
+	events eventQueue
 
 	cycle    uint64
 	ageStamp uint64
@@ -156,6 +168,7 @@ func New(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) (
 
 		st:      stats.New(nt),
 		rankBuf: make([]int, 0, nt),
+		events:  newEventQueue(),
 	}
 	if p, ok := pol.(Partitioner); ok {
 		m.part = p
@@ -169,7 +182,7 @@ func New(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) (
 
 	for t := 0; t < nt; t++ {
 		m.threads[t].stream = trace.NewStream(profiles[t], t, seed)
-		m.fe[t].ring = make([]feEntry, cfg.FrontEndBuffer)
+		m.fe[t] = newFrontEnd(cfg.FrontEndBuffer)
 		m.rob[t] = newThreadROB(cfg.ROBSize)
 		m.prod[t] = make([]prodEntry, prodRingSize)
 		for i := range m.prod[t] {

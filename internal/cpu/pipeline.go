@@ -20,33 +20,46 @@ func (m *Machine) step() {
 
 // ---- completion and miss-detection events ----
 
+// processEvents delivers every event scheduled at or before the current
+// cycle, walking the calendar ring one bucket per cycle. Delivery never
+// pushes new events (issue is the only producer), so draining a bucket
+// in-place is safe.
 func (m *Machine) processEvents() {
-	for {
-		at, ok := m.events.peekAt()
-		if !ok || at > m.cycle {
-			return
+	q := &m.events
+	for q.base <= m.cycle {
+		b := q.base & eventRingMask
+		bucket := q.buckets[b]
+		for i := range bucket {
+			m.deliver(&bucket[i])
 		}
-		ev := m.events.pop()
-		t := int(ev.thread)
-		r := m.rob[t]
-		if !r.valid(ev.dseq, ev.gen) {
-			continue // squashed
+		q.buckets[b] = bucket[:0]
+		q.base++
+		if len(q.overflow) > 0 {
+			q.ripen()
 		}
-		e := r.at(ev.dseq)
-		switch ev.kind {
-		case evDetectL1:
-			if e.state != stateDone && !e.l1Counted {
-				e.l1Counted = true
-				m.pendingL1D[t]++
-			}
-		case evDetectL2:
-			if e.state != stateDone && !e.l2Counted {
-				e.l2Counted = true
-				m.pendingL2[t]++
-			}
-		case evComplete:
-			m.complete(t, e)
+	}
+}
+
+func (m *Machine) deliver(ev *event) {
+	t := int(ev.thread)
+	r := m.rob[t]
+	if !r.valid(ev.dseq, ev.gen) {
+		return // squashed
+	}
+	e := r.at(ev.dseq)
+	switch ev.kind {
+	case evDetectL1:
+		if e.state != stateDone && !e.l1Counted {
+			e.l1Counted = true
+			m.pendingL1D[t]++
 		}
+	case evDetectL2:
+		if e.state != stateDone && !e.l2Counted {
+			e.l2Counted = true
+			m.pendingL2[t]++
+		}
+	case evComplete:
+		m.complete(t, e)
 	}
 }
 

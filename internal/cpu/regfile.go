@@ -61,12 +61,16 @@ func (f *regFile) release(reg int32) {
 }
 
 // markReady flips the scoreboard bit and returns the waiter list for the
-// caller to process (the list is detached; stale refs are filtered by
-// stamp at wake time).
+// caller to process (stale refs are filtered by stamp at wake time). The
+// backing array stays with the register for reuse — nilling it out here
+// made every waiter chain reallocate from scratch, ~25% of all bytes
+// allocated by a full experiment run. No waiter is added between this
+// truncation and the caller finishing with the returned slice: addWaiter
+// only runs during dispatch, behind an isReady check that now fails.
 func (f *regFile) markReady(reg int32) []waiterRef {
 	f.ready[reg] = true
 	w := f.waiters[reg]
-	f.waiters[reg] = nil
+	f.waiters[reg] = w[:0]
 	return w
 }
 

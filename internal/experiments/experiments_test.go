@@ -74,7 +74,7 @@ func TestFigure2Monotone(t *testing.T) {
 	}
 	s := NewQuickSuite()
 	s.Runner.Warmup, s.Runner.Measure = 10_000, 40_000
-	res, err := Figure2(s.Runner, []string{"gzip", "swim"})
+	res, err := Figure2(s, []string{"gzip", "swim"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,22 +38,37 @@ func figure2Config() config.Config {
 // full speed) as one resource class is restricted, averaged over the
 // benchmarks. Per the paper's footnote, FP-resource curves average only the
 // FP benchmarks. The `benchmarks` argument subsets the suite (nil = all).
-func Figure2(r *sim.Runner, benchmarks []string) (Figure2Result, error) {
+//
+// The (benchmark, resource, fraction) restriction runs are enumerated up
+// front and executed on the suite's worker pool; each task writes only its
+// own slot, so accumulation over the completed grid is deterministic.
+func Figure2(s *Suite, benchmarks []string) (Figure2Result, error) {
 	if benchmarks == nil {
 		benchmarks = trace.Names()
 	}
+	r := s.Runner
 	cfg := figure2Config()
 	res := Figure2Result{PercentOfFull: make(map[cpu.Resource][]float64)}
 
-	type curveAcc struct {
-		sum []float64
-		n   int
-	}
-	acc := make(map[cpu.Resource]*curveAcc)
-	for _, rc := range Figure2Resources {
-		acc[rc] = &curveAcc{sum: make([]float64, len(Figure2Fractions))}
+	// Full-speed baselines first: the restriction tasks divide by them.
+	baseErrs := make([]error, len(benchmarks))
+	s.engine().Run(len(benchmarks), func(i int) {
+		_, baseErrs[i] = r.SingleIPC(cfg, benchmarks[i])
+	})
+	if err := sim.FirstError(baseErrs); err != nil {
+		return res, err
 	}
 
+	type capRun struct {
+		name string
+		rc   cpu.Resource
+		frac int     // index into Figure2Fractions
+		full float64 // full-speed IPC, validated > 0 during enumeration
+
+		ratio float64 // filled by the worker: capped IPC / full IPC
+		err   error
+	}
+	var runs []capRun
 	for _, name := range benchmarks {
 		prof := trace.MustProfile(name)
 		full, err := r.SingleIPC(cfg, name)
@@ -67,19 +82,48 @@ func Figure2(r *sim.Runner, benchmarks []string) (Figure2Result, error) {
 			if rc.IsFP() && !prof.FP {
 				continue // FP curves average FP benchmarks only
 			}
-			a := acc[rc]
-			a.n++
-			for i, frac := range Figure2Fractions {
-				capPol := &sim.CapPolicy{}
-				capPol.Caps[rc] = max(1, int(float64(totalOf(cfg, rc))*frac/100))
-				m, err := r.RunMachine(cfg, []trace.Profile{prof}, capPol)
-				if err != nil {
-					return res, err
-				}
-				st := m.Stats()
-				a.sum[i] += st.Threads[0].IPC(st.Cycles) / full
+			for i := range Figure2Fractions {
+				runs = append(runs, capRun{name: name, rc: rc, frac: i, full: full})
 			}
 		}
+	}
+	s.engine().Run(len(runs), func(i int) {
+		t := &runs[i]
+		capPol := &sim.CapPolicy{}
+		capPol.Caps[t.rc] = max(1, int(float64(totalOf(cfg, t.rc))*Figure2Fractions[t.frac]/100))
+		m, err := r.RunMachine(cfg, []trace.Profile{trace.MustProfile(t.name)}, capPol)
+		if err != nil {
+			t.err = err
+			return
+		}
+		st := m.Stats()
+		t.ratio = st.Threads[0].IPC(st.Cycles) / t.full
+	})
+
+	type curveAcc struct {
+		sum []float64
+		n   int
+	}
+	acc := make(map[cpu.Resource]*curveAcc)
+	for _, rc := range Figure2Resources {
+		acc[rc] = &curveAcc{sum: make([]float64, len(Figure2Fractions))}
+	}
+	type benchResource struct {
+		name string
+		rc   cpu.Resource
+	}
+	seen := make(map[benchResource]bool) // (name, resource) pairs counted once
+	for i := range runs {
+		t := &runs[i]
+		if t.err != nil {
+			return res, t.err
+		}
+		a := acc[t.rc]
+		if k := (benchResource{t.name, t.rc}); !seen[k] {
+			seen[k] = true
+			a.n++
+		}
+		a.sum[t.frac] += t.ratio
 	}
 	for _, rc := range Figure2Resources {
 		a := acc[rc]

@@ -31,6 +31,15 @@ type Figure4Result struct {
 // with the largest gains on MIX workloads.
 func Figure4(s *Suite) (Figure4Result, error) {
 	cfg := config.Baseline()
+	var cells []workloadCell
+	for _, n := range threadCounts {
+		for _, kind := range workload.Kinds {
+			cells = append(cells, kindCells(cfg, n, kind, PolDCRA, PolSRA)...)
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return Figure4Result{}, err
+	}
 	var res Figure4Result
 	var tps, hms []float64
 	for _, n := range threadCounts {

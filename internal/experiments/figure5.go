@@ -34,8 +34,20 @@ type Figure5Result struct {
 }
 
 // Figure5 reproduces Figures 5(a) IPC throughput and 5(b) Hmean improvement.
+// All 144 cells (36 workloads x 4 policies) are enumerated up front and run
+// on the suite's worker pool before the per-cell averaging below reads them
+// back from the memo.
 func Figure5(s *Suite) (Figure5Result, error) {
 	cfg := config.Baseline()
+	var cells []workloadCell
+	for _, n := range threadCounts {
+		for _, kind := range workload.Kinds {
+			cells = append(cells, kindCells(cfg, n, kind, Figure5Policies...)...)
+		}
+	}
+	if err := s.prefetch(cells); err != nil {
+		return Figure5Result{}, err
+	}
 	res := Figure5Result{
 		AvgHmeanImprovement:      make(map[PolicyName]float64),
 		AvgThroughputImprovement: make(map[PolicyName]float64),

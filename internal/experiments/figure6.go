@@ -26,6 +26,15 @@ type Figure6Result struct {
 // advantage over DG and FLUSH++ grows (their deallocation/stall become
 // needless waste when resources are plentiful).
 func Figure6(s *Suite) (Figure6Result, error) {
+	var cells []workloadCell
+	for _, regs := range Figure6RegSizes {
+		cfg := config.Baseline().WithPhysRegs(regs)
+		cells = append(cells, allWorkloadCells(cfg,
+			append([]PolicyName{PolDCRA}, Figure6Policies...)...)...)
+	}
+	if err := s.prefetch(cells); err != nil {
+		return Figure6Result{}, err
+	}
 	res := Figure6Result{Improvement: make(map[PolicyName][]float64)}
 	for _, regs := range Figure6RegSizes {
 		cfg := config.Baseline().WithPhysRegs(regs)

@@ -35,6 +35,15 @@ type Figure7Result struct {
 // policy that closes on DCRA at 500 cycles (deallocating on a miss pays off
 // when misses pin resources for longer).
 func Figure7(s *Suite) (Figure7Result, error) {
+	var cells []workloadCell
+	for _, pt := range Figure7Points {
+		cfg := config.Baseline().WithMemLatency(pt.MemLatency, pt.L2Latency)
+		cells = append(cells, allWorkloadCells(cfg,
+			append([]PolicyName{PolDCRA}, Figure6Policies...)...)...)
+	}
+	if err := s.prefetch(cells); err != nil {
+		return Figure7Result{}, err
+	}
 	res := Figure7Result{Improvement: make(map[PolicyName][]float64)}
 	for _, pt := range Figure7Points {
 		cfg := config.Baseline().WithMemLatency(pt.MemLatency, pt.L2Latency)

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"dcra/internal/config"
 	"dcra/internal/core"
@@ -55,17 +56,45 @@ func newPolicy(name PolicyName, cfg config.Config) cpu.Policy {
 	panic("experiments: unknown policy " + string(name))
 }
 
+// Cell identifies one memoisable simulation: a (config, workload, policy)
+// triple. config.Config is a struct of scalars, so Cell is comparable and
+// serves directly as the memo key — no fmt.Sprintf key building per probe.
+type Cell struct {
+	Cfg config.Config
+	WID string // workload.Workload.ID()
+	Pol PolicyName
+}
+
+// cellState is a single-flight slot: the first worker to claim a cell
+// computes it, concurrent requesters wait on done and share the result.
+type cellState struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
 // Suite runs experiments with result memoisation: the same (workload,
 // policy, configuration) run is shared between figures — Figure 5's DCRA
 // runs at the baseline are also Figure 4's and Figure 6's middle points.
+// The memo is safe for concurrent use; each Figure*/Table* function
+// enumerates its cells up front, submits them to the engine's worker pool,
+// then renders from the completed results.
 type Suite struct {
 	Runner *sim.Runner
-	cache  map[string]sim.Result
+	Engine *sim.Engine
+
+	mu    sync.Mutex
+	cache map[Cell]*cellState
 }
 
-// NewSuite builds a Suite with the default measurement windows.
+// NewSuite builds a Suite with the default measurement windows, running
+// cells on a GOMAXPROCS-wide worker pool.
 func NewSuite() *Suite {
-	return &Suite{Runner: sim.NewRunner(), cache: make(map[string]sim.Result)}
+	return &Suite{
+		Runner: sim.NewRunner(),
+		Engine: sim.NewEngine(0),
+		cache:  make(map[Cell]*cellState),
+	}
 }
 
 // NewQuickSuite builds a Suite with reduced windows for tests/benchmarks
@@ -77,18 +106,90 @@ func NewQuickSuite() *Suite {
 	return s
 }
 
-// run returns the memoised result of one (cfg, workload, policy) cell.
+// run returns the memoised result of one (cfg, workload, policy) cell,
+// computing it if no prefetch has. Concurrent callers single-flight.
 func (s *Suite) run(cfg config.Config, w workload.Workload, pn PolicyName) (sim.Result, error) {
-	key := fmt.Sprintf("%s|%s|%+v", w.ID(), pn, cfg)
-	if r, ok := s.cache[key]; ok {
-		return r, nil
+	key := Cell{Cfg: cfg, WID: w.ID(), Pol: pn}
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = make(map[Cell]*cellState)
 	}
-	r, err := s.Runner.RunWorkload(cfg, w, func() cpu.Policy { return newPolicy(pn, cfg) })
-	if err != nil {
-		return sim.Result{}, err
+	if c, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.res, c.err
 	}
-	s.cache[key] = r
-	return r, nil
+	c := &cellState{done: make(chan struct{})}
+	s.cache[key] = c
+	s.mu.Unlock()
+
+	// done must close even if the run panics (e.g. an unknown policy name):
+	// concurrent waiters on this cell would otherwise block forever. The
+	// panic is published as the cell's error first, so if some outer harness
+	// recovers it the memo holds a failure, not a zero result with nil error.
+	defer func() {
+		if p := recover(); p != nil {
+			c.err = fmt.Errorf("experiments: cell %s/%s panicked: %v", w.ID(), pn, p)
+			close(c.done)
+			panic(p)
+		}
+		close(c.done)
+	}()
+	c.res, c.err = s.Runner.RunWorkload(cfg, w, func() cpu.Policy { return newPolicy(pn, cfg) })
+	return c.res, c.err
+}
+
+// engine returns the suite's engine, defaulting to GOMAXPROCS workers for
+// zero-value suites built by tests.
+func (s *Suite) engine() *sim.Engine {
+	if s.Engine == nil {
+		s.Engine = sim.NewEngine(0)
+	}
+	return s.Engine
+}
+
+// workloadCell pairs a resolved workload with its configuration and policy
+// so prefetch tasks need no re-lookup.
+type workloadCell struct {
+	cfg config.Config
+	w   workload.Workload
+	pn  PolicyName
+}
+
+// prefetch computes every cell on the worker pool, filling the memo. Cells
+// already computed (or in flight from an earlier figure) cost one memo
+// probe. The first error in submission order is returned, matching what a
+// serial run would have reported.
+func (s *Suite) prefetch(cells []workloadCell) error {
+	errs := make([]error, len(cells))
+	s.engine().Run(len(cells), func(i int) {
+		_, errs[i] = s.run(cells[i].cfg, cells[i].w, cells[i].pn)
+	})
+	return sim.FirstError(errs)
+}
+
+// kindCells enumerates the cells of all four groups of one (threads, kind)
+// workload type under each policy.
+func kindCells(cfg config.Config, threads int, kind workload.Kind, pns ...PolicyName) []workloadCell {
+	var cells []workloadCell
+	for _, w := range workload.Groups(threads, kind) {
+		for _, pn := range pns {
+			cells = append(cells, workloadCell{cfg: cfg, w: w, pn: pn})
+		}
+	}
+	return cells
+}
+
+// allWorkloadCells enumerates cells for every Table 4 workload under each
+// policy.
+func allWorkloadCells(cfg config.Config, pns ...PolicyName) []workloadCell {
+	var cells []workloadCell
+	for _, w := range workload.All() {
+		for _, pn := range pns {
+			cells = append(cells, workloadCell{cfg: cfg, w: w, pn: pn})
+		}
+	}
+	return cells
 }
 
 // kindAverages runs all four groups of (threads, kind) under pn and returns

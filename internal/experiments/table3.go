@@ -19,32 +19,40 @@ type Table3Row struct {
 }
 
 // Table3 reproduces the paper's Table 3: per-benchmark L2 miss rates and
-// the MEM/ILP split, measured on single-thread baseline runs.
-func Table3(r *sim.Runner, benchmarks []string) ([]Table3Row, error) {
+// the MEM/ILP split, measured on single-thread baseline runs. One run per
+// benchmark, all independent, executed on the suite's worker pool with each
+// task filling its own row.
+func Table3(s *Suite, benchmarks []string) ([]Table3Row, error) {
 	if benchmarks == nil {
 		benchmarks = trace.Names()
 	}
 	cfg := config.Baseline()
-	rows := make([]Table3Row, 0, len(benchmarks))
-	for _, name := range benchmarks {
+	rows := make([]Table3Row, len(benchmarks))
+	errs := make([]error, len(benchmarks))
+	s.engine().Run(len(benchmarks), func(i int) {
+		name := benchmarks[i]
 		p := trace.MustProfile(name)
-		m, err := r.RunMachine(cfg, []trace.Profile{p}, &sim.CapPolicy{})
+		m, err := s.Runner.RunMachine(cfg, []trace.Profile{p}, &sim.CapPolicy{})
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		st := m.Stats()
 		suite := "INTEGER"
 		if p.FP {
 			suite = "FP"
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Name:        name,
 			Suite:       suite,
 			Type:        p.Type(),
 			L2MissRate:  st.Threads[0].L2MissRate(),
 			PaperL2Rate: p.PaperL2MissRate,
 			IPC:         st.Threads[0].IPC(st.Cycles),
-		})
+		}
+	})
+	if err := sim.FirstError(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -28,6 +28,13 @@ var paperTable5 = map[workload.Kind][3]float64{
 // sampled every cycle by the pipeline.
 func Table5(s *Suite) ([]Table5Row, error) {
 	cfg := config.Baseline()
+	var cells []workloadCell
+	for _, kind := range workload.Kinds {
+		cells = append(cells, kindCells(cfg, 2, kind, PolDCRA)...)
+	}
+	if err := s.prefetch(cells); err != nil {
+		return nil, err
+	}
 	rows := make([]Table5Row, 0, len(workload.Kinds))
 	for _, kind := range workload.Kinds {
 		var ss, mx, ff []float64

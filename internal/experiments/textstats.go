@@ -26,6 +26,9 @@ func FrontEndActivity(s *Suite, memLatency int) (ActivityResult, error) {
 		l2 = config.Baseline().L2.Latency
 	}
 	cfg := config.Baseline().WithMemLatency(memLatency, l2)
+	if err := s.prefetch(allWorkloadCells(cfg, PolFlushPP, PolDCRA)); err != nil {
+		return ActivityResult{MemLatency: memLatency}, err
+	}
 	res := ActivityResult{MemLatency: memLatency}
 	for _, w := range workload.All() {
 		rf, err := s.run(cfg, w, PolFlushPP)
@@ -70,6 +73,9 @@ type MLPResult struct {
 // (paper: +22% ILP, +32% MIX, ~+0.5% MEM; +18% average).
 func MemoryParallelism(s *Suite) ([]MLPResult, error) {
 	cfg := config.Baseline()
+	if err := s.prefetch(allWorkloadCells(cfg, PolDCRA, PolFlushPP)); err != nil {
+		return nil, err
+	}
 	var out []MLPResult
 	for _, kind := range workload.Kinds {
 		var dv, fv []float64

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine executes independent simulation cells on a bounded worker pool.
+// Simulation cells — one (config, workload, policy) run each — share no
+// mutable state, so the experiment suite is embarrassingly parallel; the
+// engine is the single place that decides how wide to fan out.
+//
+// A 1-worker engine degenerates to a plain serial loop in submission order,
+// which the determinism tests compare against parallel execution: results
+// must be bit-identical because each cell's simulation is a pure function
+// of its inputs and a fixed seed.
+type Engine struct {
+	workers int
+}
+
+// NewEngine returns an engine with the given parallelism; workers <= 0
+// selects GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the configured parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Run executes task(0..n-1) across the worker pool and waits for all of
+// them. Tasks must be independent and write only to their own slot of any
+// shared output slice. Panics propagate to the caller.
+func (e *Engine) Run(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if e.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// FirstError returns the first non-nil error in submission order, so error
+// reporting is deterministic regardless of completion order.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

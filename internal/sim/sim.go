@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"dcra/internal/config"
 	"dcra/internal/cpu"
@@ -31,14 +32,36 @@ type Result struct {
 	WSpeedup   float64
 }
 
+// baselineKey identifies one single-thread baseline run. config.Config is a
+// struct of scalars, so the key is comparable and map lookups cost no
+// formatting (the previous string key went through fmt.Sprintf("%+v", cfg)
+// on every probe).
+type baselineKey struct {
+	cfg  config.Config
+	name string
+}
+
+// baselineCell is a single-flight slot for one baseline: the first caller
+// computes, every concurrent caller waits on done.
+type baselineCell struct {
+	done chan struct{}
+	ipc  float64
+	err  error
+}
+
 // Runner executes simulations with fixed warmup/measurement windows and a
-// fixed seed, and caches single-thread baselines per configuration.
+// fixed seed, and caches single-thread baselines per configuration. The
+// baseline cache is safe for concurrent use: parallel experiment workers
+// needing the same baseline compute it exactly once (single-flight) and all
+// observe the identical value. The window/seed fields must not be mutated
+// while runs are in flight.
 type Runner struct {
 	Warmup  uint64 // cycles simulated before statistics reset
 	Measure uint64 // measured cycles
 	Seed    uint64
 
-	baseline map[string]float64 // (config key | benchmark) -> single-thread IPC
+	mu       sync.Mutex
+	baseline map[baselineKey]*baselineCell
 }
 
 // NewRunner returns a Runner with the default windows used throughout the
@@ -89,27 +112,43 @@ func (r *Runner) RunWorkload(cfg config.Config, w workload.Workload, mk PolicyFa
 
 // SingleIPC returns the single-thread IPC of a benchmark on cfg, simulating
 // it on first use and caching thereafter. Baselines use ICOUNT (with one
-// thread every non-partitioning policy behaves identically).
+// thread every non-partitioning policy behaves identically). Concurrent
+// callers for the same (cfg, name) share one simulation.
 func (r *Runner) SingleIPC(cfg config.Config, name string) (float64, error) {
-	key := cfgKey(cfg) + "|" + name
-	if v, ok := r.baseline[key]; ok {
-		return v, nil
+	key := baselineKey{cfg: cfg, name: name}
+	r.mu.Lock()
+	if r.baseline == nil {
+		r.baseline = make(map[baselineKey]*baselineCell)
 	}
+	if c, ok := r.baseline[key]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.ipc, c.err
+	}
+	c := &baselineCell{done: make(chan struct{})}
+	r.baseline[key] = c
+	r.mu.Unlock()
+
+	// done must close even if the run panics (MustProfile panics on an
+	// unknown benchmark): concurrent waiters would otherwise block forever.
+	// The panic is published as the cell's error first, so if some outer
+	// harness recovers it the cache holds a failure, not IPC 0 with nil error.
+	defer func() {
+		if p := recover(); p != nil {
+			c.err = fmt.Errorf("sim: baseline %s panicked: %v", name, p)
+			close(c.done)
+			panic(p)
+		}
+		close(c.done)
+	}()
 	m, err := r.RunMachine(cfg, []trace.Profile{trace.MustProfile(name)}, policy.NewICount())
 	if err != nil {
-		return 0, fmt.Errorf("sim: baseline %s: %w", name, err)
+		c.err = fmt.Errorf("sim: baseline %s: %w", name, err)
+	} else {
+		c.ipc = m.Stats().Threads[0].IPC(m.Stats().Cycles)
 	}
-	ipc := m.Stats().Threads[0].IPC(m.Stats().Cycles)
-	if r.baseline == nil {
-		r.baseline = make(map[string]float64)
-	}
-	r.baseline[key] = ipc
-	return ipc, nil
+	return c.ipc, c.err
 }
-
-// cfgKey folds the configuration into a cache key. %+v over the value type
-// is stable for a struct of scalars and covers every sweep dimension.
-func cfgKey(cfg config.Config) string { return fmt.Sprintf("%+v", cfg) }
 
 // CapPolicy is a utility policy for resource-restriction studies (the
 // paper's Figure 2): ICOUNT fetch with fixed per-thread caps on selected

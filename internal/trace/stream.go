@@ -42,6 +42,11 @@ type Stream struct {
 
 	// seed for per-site branch bias hashing, fixed per stream.
 	siteSeed uint64
+
+	// Precomputed geometric samplers for the profile's fixed means (shared
+	// across streams; see rng.NewGeomDist).
+	depDist   *rng.GeomDist
+	phaseDist *rng.GeomDist
 }
 
 // Region indices within the working-set mixture.
@@ -87,6 +92,8 @@ func NewStream(p Profile, threadID int, seed uint64) *Stream {
 	}
 	s.phaseLeft = 1 // choose a phase on the first uop
 	s.slow = base.Bool(p.SlowFrac)
+	s.depDist = rng.NewGeomDist(p.MeanDep)
+	s.phaseDist = rng.NewGeomDist(p.PhaseLen)
 	return s
 }
 
@@ -196,7 +203,7 @@ func (s *Stream) generate() {
 	s.phaseLeft--
 	if s.phaseLeft <= 0 {
 		s.slow = s.rg.Bool(p.SlowFrac)
-		s.phaseLeft = s.rg.Geometric(p.PhaseLen)
+		s.phaseLeft = s.phaseDist.Sample(s.rg)
 	}
 
 	u := isa.Uop{Index: s.next, PC: s.pc}
@@ -254,7 +261,7 @@ func (s *Stream) genDeps(u *isa.Uop) {
 }
 
 func (s *Stream) depDistance() uint16 {
-	d := s.rg.Geometric(s.prof.MeanDep)
+	d := s.depDist.Sample(s.rg)
 	if d > int(s.next) { // cannot reach before the start of the program
 		d = int(s.next)
 	}
