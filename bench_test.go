@@ -1,4 +1,4 @@
-// Benchmarks regenerating the paper's tables and figures (DESIGN.md §7).
+// Benchmarks regenerating the paper's tables and figures (EXPERIMENTS.md).
 // Each BenchmarkFigureN/BenchmarkTableN runs a reduced-window version of
 // the corresponding experiment and reports the paper's headline statistics
 // as custom benchmark metrics, so

@@ -1,0 +1,231 @@
+// Command campaign runs the paper's evaluation as declarative sweeps that
+// scale past one process: an experiment's sweep can be partitioned into
+// deterministic shards, computed on independent hosts, shipped home as JSON
+// shard files, merged, and rendered bit-identically from a persistent
+// on-disk result store. See EXPERIMENTS.md for the experiment index.
+//
+// Usage:
+//
+//	campaign run -exp fig5 [-store DIR]            # compute + render
+//	campaign run -exp fig5 -shards 4 -shard 2 -out shard2.json
+//	campaign merge -store DIR shard0.json shard1.json ...
+//	campaign status -exp fig5 -store DIR
+//
+// A sharded `run` computes only its partition and writes a shard file
+// instead of rendering. After `merge`, re-running `campaign run -exp fig5
+// -store DIR` renders every table from the store without resimulating
+// (enforceable with -require-store). All invocations of one campaign must
+// agree on the measurement protocol (-quick/-warmup/-measure); the store
+// manifest and shard headers refuse mismatches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcra/internal/campaign"
+	"dcra/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "merge":
+		cmdMerge(os.Args[2:])
+	case "status":
+		cmdStatus(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status> [flags]
+
+  run    -exp KEY [-quick] [-warmup N -measure N] [-store DIR]
+         [-shards N -shard I -out FILE] [-require-store]
+  merge  -store DIR shard.json...
+  status -exp KEY -store DIR`)
+	os.Exit(2)
+}
+
+// suiteFlags registers the measurement-protocol flags shared by run/status.
+type suiteFlags struct {
+	quick   *bool
+	warmup  *uint64
+	measure *uint64
+}
+
+func addSuiteFlags(fs *flag.FlagSet) suiteFlags {
+	return suiteFlags{
+		quick:   fs.Bool("quick", false, "reduced measurement windows (~6x faster)"),
+		warmup:  fs.Uint64("warmup", 0, "override warmup cycles"),
+		measure: fs.Uint64("measure", 0, "override measured cycles"),
+	}
+}
+
+func (sf suiteFlags) suite() *experiments.Suite {
+	s := experiments.NewSuite()
+	if *sf.quick {
+		s = experiments.NewQuickSuite()
+	}
+	if *sf.warmup > 0 {
+		s.Runner.Warmup = *sf.warmup
+	}
+	if *sf.measure > 0 {
+		s.Runner.Measure = *sf.measure
+	}
+	return s
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	var (
+		exp          = fs.String("exp", "", "experiment key (tab1,fig2,... — see EXPERIMENTS.md)")
+		storeDir     = fs.String("store", "", "persistent result store directory")
+		shards       = fs.Int("shards", 1, "total shard count")
+		shard        = fs.Int("shard", 0, "this shard's index (0-based)")
+		out          = fs.String("out", "", "shard result file to write (sharded runs)")
+		requireStore = fs.Bool("require-store", false, "fail if any cell had to be simulated instead of loaded from the store")
+		sflags       = addSuiteFlags(fs)
+	)
+	fs.Parse(args)
+
+	spec, err := experiments.SpecByKey(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	s := sflags.suite()
+	if *storeDir != "" {
+		st, err := campaign.Open(*storeDir, s.StoreParams())
+		if err != nil {
+			fatal(err)
+		}
+		s.Store = st
+	}
+	sweep := spec.Sweep()
+
+	if *shards <= 1 && (*shard != 0 || *out != "") {
+		fatal(fmt.Errorf("-shard/-out only make sense with -shards N > 1 (did you forget -shards?)"))
+	}
+	if *shards > 1 {
+		cells, err := sweep.Shard(*shard, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			fatal(fmt.Errorf("sharded run needs -out to receive the shard results"))
+		}
+		fmt.Printf("campaign: %s shard %d/%d: %d of %d cells\n",
+			spec.Key, *shard, *shards, len(cells), len(sweep.Cells))
+		if err := s.Prefetch(cells); err != nil {
+			fatal(err)
+		}
+		sf := campaign.ShardFile{
+			Campaign:  spec.Key,
+			SweepHash: sweep.Hash(),
+			Shards:    *shards,
+			Shard:     *shard,
+			Params:    s.StoreParams(),
+		}
+		for _, c := range cells {
+			r, err := s.RunCell(c)
+			if err != nil {
+				fatal(err)
+			}
+			sf.Cells = append(sf.Cells, campaign.CellResult{Key: c.Key(), Cell: c, Result: r})
+		}
+		if err := campaign.WriteShard(*out, sf); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("campaign: wrote %d cells to %s (simulated %d, store hits %d)\n",
+			len(sf.Cells), *out, s.Simulated(), s.StoreHits())
+		if *requireStore && s.Simulated() > 0 {
+			fatal(fmt.Errorf("%d cells were simulated but -require-store demands a fully populated store", s.Simulated()))
+		}
+		return
+	}
+
+	tables, err := spec.Render(s)
+	if err != nil {
+		fatal(err)
+	}
+	for _, rt := range tables {
+		rt.Table.Render(os.Stdout)
+	}
+	fmt.Printf("campaign: %s: %d cells (simulated %d, store hits %d)\n",
+		spec.Key, len(sweep.Cells), s.Simulated(), s.StoreHits())
+	if *requireStore && s.Simulated() > 0 {
+		fatal(fmt.Errorf("%d cells were simulated but -require-store demands a fully populated store", s.Simulated()))
+	}
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("campaign merge", flag.ExitOnError)
+	storeDir := fs.String("store", "", "persistent result store directory (created if missing)")
+	fs.Parse(args)
+	paths := fs.Args()
+	if *storeDir == "" || len(paths) == 0 {
+		fatal(fmt.Errorf("merge needs -store and at least one shard file"))
+	}
+	// The store adopts the shards' protocol; Merge re-verifies every file
+	// against it, so mixed-protocol shards are refused.
+	first, err := campaign.ReadShard(paths[0])
+	if err != nil {
+		fatal(err)
+	}
+	st, err := campaign.Open(*storeDir, first.Params)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := campaign.Merge(st, paths)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("campaign: merged %d cells from %d shard files into %s\n", n, len(paths), *storeDir)
+}
+
+func cmdStatus(args []string) {
+	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
+	var (
+		exp      = fs.String("exp", "", "experiment key")
+		storeDir = fs.String("store", "", "persistent result store directory")
+	)
+	fs.Parse(args)
+	spec, err := experiments.SpecByKey(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	if *storeDir == "" {
+		fatal(fmt.Errorf("status needs -store"))
+	}
+	st, err := campaign.OpenExisting(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	sweep := spec.Sweep()
+	present, missing := st.Count(sweep)
+	p := st.Params()
+	fmt.Printf("campaign: %s (sweep %s, warmup %d, measure %d): %d/%d cells in %s\n",
+		spec.Key, sweep.Hash(), p.Warmup, p.Measure, present, present+len(missing), *storeDir)
+	for i, c := range missing {
+		if i == 10 {
+			fmt.Printf("  ... and %d more missing\n", len(missing)-10)
+			break
+		}
+		fmt.Printf("  missing %s\n", c)
+	}
+	if len(missing) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 // Command experiments regenerates the paper's tables and figures (see
-// DESIGN.md §7 for the experiment index and EXPERIMENTS.md for recorded
-// results).
+// EXPERIMENTS.md for the experiment index and recorded results). Every
+// experiment is driven through its declared campaign sweep; for sharded
+// multi-host runs and persistent result stores use cmd/campaign instead.
 //
 // Usage:
 //
@@ -19,8 +20,6 @@ import (
 
 	"dcra/internal/experiments"
 	"dcra/internal/report"
-	"dcra/internal/trace"
-	"dcra/internal/workload"
 )
 
 func main() {
@@ -36,13 +35,21 @@ func main() {
 		s = experiments.NewQuickSuite()
 	}
 
+	specs := experiments.Specs()
 	want := map[string]bool{}
 	if *only != "" {
+		known := map[string]bool{}
+		for _, spec := range specs {
+			known[spec.Key] = true
+		}
 		for _, k := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(k)] = true
+			k = strings.TrimSpace(k)
+			if !known[k] {
+				fatal(fmt.Errorf("unknown experiment %q in -only", k))
+			}
+			want[k] = true
 		}
 	}
-	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
 	emit := func(name string, t *report.Table) {
 		t.Render(os.Stdout)
@@ -59,94 +66,18 @@ func main() {
 		}
 	}
 
-	if sel("tab1") {
-		emit("table1", experiments.Table1Report())
-	}
-	if sel("tab4") {
-		emit("table4", table4Report())
-	}
-	if sel("tab3") {
-		rows, err := experiments.Table3(s, nil)
+	for _, spec := range specs {
+		if len(want) > 0 && !want[spec.Key] {
+			continue
+		}
+		tables, err := spec.Render(s)
 		if err != nil {
 			fatal(err)
 		}
-		emit("table3", experiments.Table3Report(rows))
-	}
-	if sel("fig2") {
-		f2, err := experiments.Figure2(s, nil)
-		if err != nil {
-			fatal(err)
+		for _, rt := range tables {
+			emit(rt.Name, rt.Table)
 		}
-		emit("figure2", f2.Report())
 	}
-	if sel("tab5") {
-		rows, err := experiments.Table5(s)
-		if err != nil {
-			fatal(err)
-		}
-		emit("table5", experiments.Table5Report(rows))
-	}
-	if sel("fig4") {
-		f4, err := experiments.Figure4(s)
-		if err != nil {
-			fatal(err)
-		}
-		emit("figure4", f4.Report())
-	}
-	if sel("fig5") {
-		f5, err := experiments.Figure5(s)
-		if err != nil {
-			fatal(err)
-		}
-		emit("figure5a", f5.ThroughputReport())
-		emit("figure5b", f5.HmeanReport())
-	}
-	if sel("fig6") {
-		f6, err := experiments.Figure6(s)
-		if err != nil {
-			fatal(err)
-		}
-		emit("figure6", f6.Report())
-	}
-	if sel("fig7") {
-		f7, err := experiments.Figure7(s)
-		if err != nil {
-			fatal(err)
-		}
-		emit("figure7", f7.Report())
-	}
-	if sel("activity") {
-		var rows []experiments.ActivityResult
-		for _, lat := range []int{300, 500} {
-			r, err := experiments.FrontEndActivity(s, lat)
-			if err != nil {
-				fatal(err)
-			}
-			rows = append(rows, r)
-		}
-		emit("activity", experiments.ActivityReport(rows))
-	}
-	if sel("mlp") {
-		rows, err := experiments.MemoryParallelism(s)
-		if err != nil {
-			fatal(err)
-		}
-		emit("mlp", experiments.MLPReport(rows))
-	}
-}
-
-// table4Report renders the encoded workload table (static data).
-func table4Report() *report.Table {
-	t := report.NewTable("Table 4: workloads (encoded verbatim from the paper)",
-		"id", "benchmarks", "types")
-	for _, w := range workload.All() {
-		types := make([]string, len(w.Names))
-		for i, n := range w.Names {
-			types[i] = trace.MustProfile(n).Type()
-		}
-		t.AddRow(w.ID(), strings.Join(w.Names, "+"), strings.Join(types, "+"))
-	}
-	return t
 }
 
 func fatal(err error) {

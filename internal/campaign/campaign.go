@@ -1,0 +1,139 @@
+// Package campaign turns the experiment suite's (config, workload, policy)
+// grid into a first-class object: a declarative Sweep enumerates cells with
+// stable content-derived keys, a deterministic partitioner splits a sweep
+// across shards (and hosts), a JSON shard-file format recombines partial
+// campaigns bit-identically, and a persistent on-disk Store lets re-runs and
+// figure re-renders hit disk instead of resimulating.
+//
+// The package is deliberately agnostic about what a cell *means*: a cell is
+// (configuration, workload id, policy string) and the experiment layer owns
+// the interpretation (multiprogrammed workload ids like "MEM2.g1", or
+// "bench:<name>" single-thread cells under "BASE"/"CAP..." policies for the
+// single-benchmark tables). That keeps the dependency arrow pointing one way:
+// experiments imports campaign, never the reverse.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dcra/internal/config"
+	"dcra/internal/sim"
+)
+
+// Cell identifies one simulation: a (config, workload, policy) triple.
+// config.Config is a struct of scalars, so Cell is comparable and doubles as
+// an in-memory memo key. WID is a workload identifier owned by the experiment
+// layer; Pol is a policy name, possibly parameterised (e.g. "CAP:intIQ:37.5").
+type Cell struct {
+	Cfg config.Config `json:"cfg"`
+	WID string        `json:"wid"`
+	Pol string        `json:"pol"`
+}
+
+// Key returns the cell's stable content-derived key: a 64-bit hex digest of
+// the canonical JSON encoding of the cell. Two processes (or hosts) enumerate
+// the same key for the same cell, which is what makes shard files mergeable
+// and the on-disk store addressable without coordination.
+func (c Cell) Key() string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(c); err != nil {
+		// Cell is a fixed struct of scalars and strings; encoding cannot fail.
+		panic(fmt.Sprintf("campaign: encoding cell: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// String renders a short human-readable identity for logs and errors.
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s[%s]", c.WID, c.Pol, c.Key())
+}
+
+// Sweep is a declarative enumeration of the cells one experiment needs. The
+// experiment layer declares each Figure*/Table* sweep exactly once; prefetch
+// submission, rendering, sharding and the result store all iterate the same
+// enumeration, so a new sweep point cannot silently fall back to on-demand
+// serial execution.
+type Sweep struct {
+	Name  string // experiment key, e.g. "fig5"
+	Cells []Cell // enumeration order is the experiment's presentation order
+}
+
+// Hash returns a digest of the sweep's content (the sorted cell-key set),
+// independent of enumeration order. Shard files record it so a merge can
+// refuse to combine shards of different sweeps.
+func (s Sweep) Hash() string {
+	keys := make([]string, len(s.Cells))
+	for i, c := range s.Cells {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	fmt.Fprintln(h, s.Name)
+	for _, k := range keys {
+		fmt.Fprintln(h, k)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// CellSet returns the sweep's cells as a set for coverage checks.
+func (s Sweep) CellSet() map[Cell]struct{} {
+	set := make(map[Cell]struct{}, len(s.Cells))
+	for _, c := range s.Cells {
+		set[c] = struct{}{}
+	}
+	return set
+}
+
+// Shard returns the cells of shard `index` out of `shards`: the deduplicated
+// enumeration is ordered by content key and dealt round-robin, so every host
+// computes its partition independently and the partitions are disjoint,
+// jointly exhaustive and stable under re-enumeration. Shards of an n-cell
+// sweep differ in size by at most one cell.
+func (s Sweep) Shard(index, shards int) ([]Cell, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("campaign: shard count %d < 1", shards)
+	}
+	if index < 0 || index >= shards {
+		return nil, fmt.Errorf("campaign: shard index %d out of range [0,%d)", index, shards)
+	}
+	ordered := s.orderedUnique()
+	var part []Cell
+	for i, c := range ordered {
+		if i%shards == index {
+			part = append(part, c.cell)
+		}
+	}
+	return part, nil
+}
+
+// keyedCell pairs a cell with its precomputed key for sorting.
+type keyedCell struct {
+	key  string
+	cell Cell
+}
+
+// orderedUnique returns the sweep's distinct cells sorted by content key.
+func (s Sweep) orderedUnique() []keyedCell {
+	seen := make(map[Cell]struct{}, len(s.Cells))
+	ordered := make([]keyedCell, 0, len(s.Cells))
+	for _, c := range s.Cells {
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		ordered = append(ordered, keyedCell{key: c.Key(), cell: c})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+	return ordered
+}
+
+// Runner evaluates one cell. *experiments.Suite is the canonical
+// implementation; the campaign CLI drives sweeps through this interface.
+type Runner interface {
+	RunCell(Cell) (sim.Result, error)
+}

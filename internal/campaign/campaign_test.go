@@ -1,0 +1,323 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcra/internal/config"
+	"dcra/internal/sim"
+	"dcra/internal/stats"
+	"dcra/internal/workload"
+)
+
+func cellFor(t *testing.T, pol string) Cell {
+	t.Helper()
+	return Cell{Cfg: config.Baseline(), WID: "MEM2.g1", Pol: pol}
+}
+
+func TestCellKeyStable(t *testing.T) {
+	a := cellFor(t, "DCRA")
+	b := cellFor(t, "DCRA")
+	if a.Key() != b.Key() {
+		t.Fatalf("identical cells disagree on key: %s vs %s", a.Key(), b.Key())
+	}
+	if len(a.Key()) != 16 {
+		t.Fatalf("key %q is not 16 hex chars", a.Key())
+	}
+	c := cellFor(t, "ICOUNT")
+	if a.Key() == c.Key() {
+		t.Fatal("different policies share a key")
+	}
+	d := a
+	d.Cfg.MemLatency = 500
+	if a.Key() == d.Key() {
+		t.Fatal("different configurations share a key")
+	}
+}
+
+func testSweep(n int) Sweep {
+	s := Sweep{Name: "test"}
+	cfg := config.Baseline()
+	for _, w := range workload.All() {
+		if len(s.Cells) >= n {
+			break
+		}
+		s.Cells = append(s.Cells, Cell{Cfg: cfg, WID: w.ID(), Pol: "DCRA"})
+	}
+	return s
+}
+
+func TestShardPartition(t *testing.T) {
+	sweep := testSweep(11)
+	for _, shards := range []int{1, 2, 3, 11, 16} {
+		seen := make(map[Cell]int)
+		sizes := make([]int, shards)
+		for i := 0; i < shards; i++ {
+			part, err := sweep.Shard(i, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes[i] = len(part)
+			for _, c := range part {
+				if prev, dup := seen[c]; dup {
+					t.Fatalf("%d shards: cell %s in shards %d and %d", shards, c, prev, i)
+				}
+				seen[c] = i
+			}
+		}
+		if len(seen) != len(sweep.Cells) {
+			t.Fatalf("%d shards cover %d cells, want %d", shards, len(seen), len(sweep.Cells))
+		}
+		// Balanced: shard sizes differ by at most one.
+		min, max := sizes[0], sizes[0]
+		for _, n := range sizes {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("%d shards are unbalanced: sizes %v", shards, sizes)
+		}
+	}
+	if _, err := sweep.Shard(2, 2); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := sweep.Shard(0, 0); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+}
+
+func TestSweepHashOrderIndependent(t *testing.T) {
+	a := testSweep(5)
+	b := Sweep{Name: a.Name}
+	for i := len(a.Cells) - 1; i >= 0; i-- {
+		b.Cells = append(b.Cells, a.Cells[i])
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("sweep hash depends on enumeration order")
+	}
+	c := testSweep(4)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different sweeps share a hash")
+	}
+}
+
+// fakeResult builds a result with awkward floats to prove the store
+// round-trips bit-identically.
+func fakeResult(seed float64) sim.Result {
+	st := stats.New(2)
+	st.Cycles = 300_000
+	st.Threads[0].Committed = 123_456
+	st.Threads[1].L2DMisses = 789
+	st.MLPSum, st.MLPCycles = 1_000_003, 7
+	return sim.Result{
+		Workload:   workload.Workload{Threads: 2, Kind: workload.MEM, Group: 1, Names: []string{"mcf", "twolf"}},
+		Policy:     "DCRA",
+		Stats:      st,
+		IPCs:       []float64{seed / 3.0, seed / 7.0},
+		Throughput: seed/3.0 + seed/7.0,
+		Hmean:      2 / (3.0/seed + 7.0/seed),
+		WSpeedup:   seed * 0.1234567890123457,
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	params := Params{Warmup: 50_000, Measure: 300_000, Seed: 42}
+	st, err := Open(dir, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cellFor(t, "DCRA")
+	if _, ok, err := st.Get(c); err != nil || ok {
+		t.Fatalf("empty store Get = ok %v, err %v", ok, err)
+	}
+	want := fakeResult(1.0 / 3.0)
+	if err := st.Put(c, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(c)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok %v, err %v", ok, err)
+	}
+	if got.Throughput != want.Throughput || got.Hmean != want.Hmean || got.WSpeedup != want.WSpeedup {
+		t.Fatalf("floats did not round-trip bit-identically: %+v vs %+v", got, want)
+	}
+	for i := range want.IPCs {
+		if got.IPCs[i] != want.IPCs[i] {
+			t.Fatalf("IPC[%d] %v != %v", i, got.IPCs[i], want.IPCs[i])
+		}
+	}
+	if got.Stats.Cycles != want.Stats.Cycles || got.Stats.MLPSum != want.Stats.MLPSum ||
+		len(got.Stats.Threads) != len(want.Stats.Threads) ||
+		got.Stats.Threads[0] != want.Stats.Threads[0] || got.Stats.Threads[1] != want.Stats.Threads[1] {
+		t.Fatal("stats did not round-trip")
+	}
+	if got.Workload.ID() != want.Workload.ID() {
+		t.Fatalf("workload %s != %s", got.Workload.ID(), want.Workload.ID())
+	}
+
+	// Reopening with the same protocol works; a different protocol refuses.
+	if _, err := Open(dir, params); err != nil {
+		t.Fatalf("reopen with same params: %v", err)
+	}
+	bad := params
+	bad.Measure = 1
+	if _, err := Open(dir, bad); err == nil {
+		t.Fatal("store accepted a different measurement protocol")
+	}
+	adopted, err := OpenExisting(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adopted.Params() != params {
+		t.Fatalf("OpenExisting adopted %+v, want %+v", adopted.Params(), params)
+	}
+}
+
+func TestStoreDoSingleFlightAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Params{Warmup: 1, Measure: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cellFor(t, "DCRA")
+	computes := 0
+	want := fakeResult(0.7)
+	for i := 0; i < 3; i++ {
+		_, computed, err := st.Do(c, func() (sim.Result, error) {
+			computes++
+			return want, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if computed != (i == 0) {
+			t.Fatalf("call %d: computed = %v", i, computed)
+		}
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	// A fresh store over the same directory serves the cell from disk.
+	st2, err := Open(dir, Params{Warmup: 1, Measure: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, computed, err := st2.Do(c, func() (sim.Result, error) {
+		t.Fatal("cell resimulated despite being on disk")
+		return sim.Result{}, nil
+	})
+	if err != nil || computed {
+		t.Fatalf("Do on fresh store: computed %v, err %v", computed, err)
+	}
+	if got.Throughput != want.Throughput {
+		t.Fatal("persisted result differs")
+	}
+}
+
+func TestStoreGetRejectsMismatchedCellFile(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cellFor(t, "DCRA")
+	b := cellFor(t, "ICOUNT")
+	if err := st.Put(a, fakeResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a corrupted store: cell file under b's key holds a's content.
+	data, err := os.ReadFile(filepath.Join(dir, "cells", a.Key()+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cells", b.Key()+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(b); err == nil {
+		t.Fatal("Get accepted a cell file holding a different cell")
+	}
+}
+
+func TestShardFileRoundTripAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	params := Params{Warmup: 10, Measure: 20, Seed: 30}
+	sweep := testSweep(5)
+
+	var files []string
+	for i := 0; i < 2; i++ {
+		part, err := sweep.Shard(i, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf := ShardFile{
+			Campaign: sweep.Name, SweepHash: sweep.Hash(),
+			Shards: 2, Shard: i, Params: params,
+		}
+		for j, c := range part {
+			sf.Cells = append(sf.Cells, CellResult{Key: c.Key(), Cell: c, Result: fakeResult(float64(i*10 + j + 1))})
+		}
+		path := filepath.Join(dir, "shard"+string(rune('0'+i))+".json")
+		if err := WriteShard(path, sf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadShard(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.SweepHash != sf.SweepHash || len(back.Cells) != len(sf.Cells) {
+			t.Fatal("shard file did not round-trip")
+		}
+		files = append(files, path)
+	}
+
+	st, err := Open(filepath.Join(dir, "store"), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Merge(st, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(sweep.Cells) {
+		t.Fatalf("merged %d cells, want %d", n, len(sweep.Cells))
+	}
+	present, missing := st.Count(sweep)
+	if present != len(sweep.Cells) || len(missing) != 0 {
+		t.Fatalf("store holds %d cells, %d missing", present, len(missing))
+	}
+
+	// Duplicate shard indices are refused.
+	if _, err := Merge(st, []string{files[0], files[0]}); err == nil {
+		t.Fatal("merge accepted the same shard twice")
+	}
+	// A corrupted cell key is refused at read time.
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(raw), `"key": "`, `"key": "00`, 1)
+	badPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShard(badPath); err == nil {
+		t.Fatal("shard with mismatched cell key accepted")
+	}
+	// Mismatched protocol is refused against the store.
+	other := ShardFile{Campaign: sweep.Name, SweepHash: sweep.Hash(), Shards: 2, Shard: 0,
+		Params: Params{Warmup: 999, Measure: 20, Seed: 30}}
+	otherPath := filepath.Join(dir, "other.json")
+	if err := WriteShard(otherPath, other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(st, []string{otherPath}); err == nil {
+		t.Fatal("merge accepted a shard measured under a different protocol")
+	}
+}

@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dcra/internal/sim"
+)
+
+// CellResult pairs a cell with its result in a shard file.
+type CellResult struct {
+	Key    string     `json:"key"`
+	Cell   Cell       `json:"cell"`
+	Result sim.Result `json:"result"`
+}
+
+// ShardFile is the interchange format for one shard of a campaign: the
+// sweep's identity (name + content hash), which partition this is, the
+// measurement protocol, and the shard's cell results. Any host can compute
+// one shard and ship the file home; merge recombines shards bit-identically
+// because every cell is a pure function of (cell, params, seed).
+type ShardFile struct {
+	Campaign  string       `json:"campaign"`
+	SweepHash string       `json:"sweep_hash"`
+	Shards    int          `json:"shards"`
+	Shard     int          `json:"shard"`
+	Params    Params       `json:"params"`
+	Cells     []CellResult `json:"cells"`
+}
+
+// WriteShard writes a shard file atomically.
+func WriteShard(path string, sf ShardFile) error {
+	if err := writeFileAtomic(path, mustJSON(sf)); err != nil {
+		return fmt.Errorf("campaign: writing shard %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadShard reads and integrity-checks a shard file: every recorded cell key
+// must match the cell's recomputed content key, so a corrupted or
+// hand-edited shard is rejected before it can poison a merge.
+func ReadShard(path string) (ShardFile, error) {
+	var sf ShardFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sf, fmt.Errorf("campaign: reading shard %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return sf, fmt.Errorf("campaign: parsing shard %s: %w", path, err)
+	}
+	if sf.Shards < 1 || sf.Shard < 0 || sf.Shard >= sf.Shards {
+		return sf, fmt.Errorf("campaign: shard %s declares shard %d of %d", path, sf.Shard, sf.Shards)
+	}
+	for _, cr := range sf.Cells {
+		if got := cr.Cell.Key(); got != cr.Key {
+			return sf, fmt.Errorf("campaign: shard %s: cell %s recorded under key %s (recomputed %s)",
+				path, cr.Cell, cr.Key, got)
+		}
+	}
+	return sf, nil
+}
+
+// Merge reads the named shard files, verifies they belong to one campaign
+// (same name, sweep hash, shard count and params, distinct shard indices)
+// and writes every cell result into the store. It returns the merged cell
+// count. Merging is idempotent: re-merging a shard overwrites each cell with
+// the identical bytes.
+func Merge(st *Store, paths []string) (int, error) {
+	if len(paths) == 0 {
+		return 0, fmt.Errorf("campaign: nothing to merge")
+	}
+	var first ShardFile
+	seen := make(map[int]string)
+	merged := 0
+	for i, path := range paths {
+		sf, err := ReadShard(path)
+		if err != nil {
+			return merged, err
+		}
+		if i == 0 {
+			first = sf
+		} else {
+			switch {
+			case sf.Campaign != first.Campaign:
+				return merged, fmt.Errorf("campaign: %s is campaign %q, %s is %q", paths[0], first.Campaign, path, sf.Campaign)
+			case sf.SweepHash != first.SweepHash:
+				return merged, fmt.Errorf("campaign: %s and %s enumerate different sweeps (%s vs %s)", paths[0], path, first.SweepHash, sf.SweepHash)
+			case sf.Shards != first.Shards:
+				return merged, fmt.Errorf("campaign: %s splits %d ways, %s splits %d", paths[0], first.Shards, path, sf.Shards)
+			case sf.Params != first.Params:
+				return merged, fmt.Errorf("campaign: %s and %s were measured under different protocols", paths[0], path)
+			}
+		}
+		if sf.Params != st.Params() {
+			return merged, fmt.Errorf("campaign: shard %s was measured with %+v, store expects %+v", path, sf.Params, st.Params())
+		}
+		if prev, dup := seen[sf.Shard]; dup {
+			return merged, fmt.Errorf("campaign: %s and %s are both shard %d", prev, path, sf.Shard)
+		}
+		seen[sf.Shard] = path
+		for _, cr := range sf.Cells {
+			if err := st.Put(cr.Cell, cr.Result); err != nil {
+				return merged, err
+			}
+			merged++
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,204 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"dcra/internal/sim"
+	"dcra/internal/singleflight"
+)
+
+// Params pins the simulation protocol a store's results were measured under.
+// Cell keys cover the processor configuration but not the measurement
+// windows or seed, so the store records them in a manifest and refuses to
+// mix results from different protocols.
+type Params struct {
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	Seed    uint64 `json:"seed"`
+}
+
+// manifest is the store's on-disk self-description.
+type manifest struct {
+	Version int    `json:"version"`
+	Params  Params `json:"params"`
+}
+
+const storeVersion = 1
+
+// Store is a persistent on-disk result store: one JSON file per cell, named
+// by the cell's content key, written atomically (temp file + rename) so
+// concurrent writers — including unrelated processes sharing the directory —
+// never expose a torn cell. A single-flight memo keeps in-flight cells from
+// being simulated or read twice within a process and serves repeat lookups
+// from memory.
+type Store struct {
+	dir    string
+	params Params
+	flight singleflight.Memo[string, sim.Result]
+}
+
+// Open opens (or initialises) the store at dir for the given protocol
+// params. An existing store with different params is refused: its results
+// were measured under another protocol and would merge wrong numbers into
+// right-looking tables.
+func Open(dir string, p Params) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "cells"), 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: opening store: %w", err)
+	}
+	mpath := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(mpath)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		m := manifest{Version: storeVersion, Params: p}
+		if err := writeFileAtomic(mpath, mustJSON(m)); err != nil {
+			return nil, fmt.Errorf("campaign: writing store manifest: %w", err)
+		}
+	case err != nil:
+		return nil, fmt.Errorf("campaign: reading store manifest: %w", err)
+	default:
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("campaign: parsing store manifest: %w", err)
+		}
+		if m.Version != storeVersion {
+			return nil, fmt.Errorf("campaign: store %s has version %d, this binary speaks %d", dir, m.Version, storeVersion)
+		}
+		if m.Params != p {
+			return nil, fmt.Errorf("campaign: store %s was measured with %+v, asked to open with %+v", dir, m.Params, p)
+		}
+	}
+	return &Store{dir: dir, params: p}, nil
+}
+
+// OpenExisting opens a store that must already have a manifest, adopting its
+// recorded params (used by `campaign status`, which has no protocol flags).
+func OpenExisting(dir string) (*Store, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: store %s has no manifest: %w", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: parsing store manifest: %w", err)
+	}
+	return Open(dir, m.Params)
+}
+
+// Params returns the protocol the store's results were measured under.
+func (st *Store) Params() Params { return st.params }
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) cellPath(key string) string {
+	return filepath.Join(st.dir, "cells", key+".json")
+}
+
+// Get returns the stored result for c, reporting whether it was present.
+func (st *Store) Get(c Cell) (sim.Result, bool, error) {
+	key := c.Key()
+	data, err := os.ReadFile(st.cellPath(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return sim.Result{}, false, nil
+	}
+	if err != nil {
+		return sim.Result{}, false, fmt.Errorf("campaign: reading cell %s: %w", c, err)
+	}
+	var sc CellResult
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return sim.Result{}, false, fmt.Errorf("campaign: parsing cell %s: %w", c, err)
+	}
+	if sc.Cell != c {
+		return sim.Result{}, false, fmt.Errorf("campaign: cell file %s holds %s, wanted %s", key, sc.Cell, c)
+	}
+	return sc.Result, true, nil
+}
+
+// Has reports whether the store holds a result for c without reading it.
+func (st *Store) Has(c Cell) bool {
+	_, err := os.Stat(st.cellPath(c.Key()))
+	return err == nil
+}
+
+// Put stores the result for c atomically, overwriting any previous value.
+// Cell files share the CellResult schema with shard files: the full cell
+// identity rides along so Get can verify the file answers the question asked
+// (key collisions, hand-edited files) and the files are self-describing.
+func (st *Store) Put(c Cell, r sim.Result) error {
+	sc := CellResult{Key: c.Key(), Cell: c, Result: r}
+	if err := writeFileAtomic(st.cellPath(sc.Key), mustJSON(sc)); err != nil {
+		return fmt.Errorf("campaign: writing cell %s: %w", c, err)
+	}
+	return nil
+}
+
+// Do returns the result for c, loading it from disk if present and otherwise
+// computing it with compute and persisting the result. In-flight cells are
+// single-flighted: concurrent requesters within the process share one disk
+// read or one simulation, and repeat calls are served from memory. computed
+// reports whether compute ran (i.e. the store missed).
+func (st *Store) Do(c Cell, compute func() (sim.Result, error)) (r sim.Result, computed bool, err error) {
+	r, err = st.flight.Do(c.Key(), func() (sim.Result, error) {
+		if r, ok, err := st.Get(c); err != nil || ok {
+			return r, err
+		}
+		computed = true
+		r, err := compute()
+		if err != nil {
+			return r, err
+		}
+		return r, st.Put(c, r)
+	})
+	return r, computed, err
+}
+
+// Count returns how many of the sweep's cells the store holds, alongside the
+// cells still missing (in sweep enumeration order).
+func (st *Store) Count(s Sweep) (present int, missing []Cell) {
+	seen := make(map[Cell]struct{}, len(s.Cells))
+	for _, c := range s.Cells {
+		if _, dup := seen[c]; dup {
+			continue
+		}
+		seen[c] = struct{}{}
+		if st.Has(c) {
+			present++
+		} else {
+			missing = append(missing, c)
+		}
+	}
+	return present, missing
+}
+
+// mustJSON marshals v with indentation; the schemas here cannot fail.
+func mustJSON(v any) []byte {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("campaign: marshalling %T: %v", v, err))
+	}
+	return append(data, '\n')
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so readers
+// (and crashed writers) never observe a partial file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

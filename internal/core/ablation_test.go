@@ -10,7 +10,7 @@ import (
 	"dcra/internal/workload"
 )
 
-// Ablation benchmarks for the design choices DESIGN.md §8 calls out. Each
+// Ablation benchmarks for the DCRA design choices EXPERIMENTS.md calls out. Each
 // reports the achieved throughput as a custom metric so variants can be
 // compared directly:
 //

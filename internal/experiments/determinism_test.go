@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/sim"
 	"dcra/internal/workload"
@@ -20,9 +21,9 @@ func determinismSuite(workers int) *Suite {
 // determinismCells is a representative slice of the evaluation grid: every
 // kind, two thread counts, two groups, and policies covering the plain,
 // squashing and partitioning families.
-func determinismCells() []workloadCell {
+func determinismCells() []campaign.Cell {
 	cfg := config.Baseline()
-	var cells []workloadCell
+	var cells []campaign.Cell
 	for _, n := range []int{2, 4} {
 		for _, kind := range workload.Kinds {
 			for g := 1; g <= 2; g++ {
@@ -31,7 +32,7 @@ func determinismCells() []workloadCell {
 					panic(err)
 				}
 				for _, pn := range []PolicyName{PolICount, PolFlushPP, PolDCRA} {
-					cells = append(cells, workloadCell{cfg: cfg, w: w, pn: pn})
+					cells = append(cells, cellOf(cfg, w, pn))
 				}
 			}
 		}
@@ -51,23 +52,23 @@ func TestSerialParallelDeterminism(t *testing.T) {
 
 	serial := determinismSuite(1)
 	parallel := determinismSuite(8)
-	if err := serial.prefetch(cells); err != nil {
+	if err := serial.Prefetch(cells); err != nil {
 		t.Fatal(err)
 	}
-	if err := parallel.prefetch(cells); err != nil {
+	if err := parallel.Prefetch(cells); err != nil {
 		t.Fatal(err)
 	}
 
 	for _, c := range cells {
-		rs, err := serial.run(c.cfg, c.w, c.pn)
+		rs, err := serial.RunCell(c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rp, err := parallel.run(c.cfg, c.w, c.pn)
+		rp, err := parallel.RunCell(c)
 		if err != nil {
 			t.Fatal(err)
 		}
-		id := c.w.ID() + "/" + string(c.pn)
+		id := c.WID + "/" + c.Pol
 		if rs.Throughput != rp.Throughput {
 			t.Errorf("%s: throughput %v (serial) != %v (parallel)", id, rs.Throughput, rp.Throughput)
 		}

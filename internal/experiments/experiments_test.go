@@ -54,8 +54,11 @@ func TestSuiteMemoisation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.cache) == 0 {
+	if s.memo.Len() == 0 {
 		t.Fatal("suite did not memoise")
+	}
+	if got := s.Simulated(); got != 1 {
+		t.Fatalf("Simulated() = %d after one cell, want 1", got)
 	}
 	b, err := s.run(cfg, w, PolICount)
 	if err != nil {

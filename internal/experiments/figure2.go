@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/cpu"
 	"dcra/internal/report"
-	"dcra/internal/sim"
 	"dcra/internal/trace"
 )
 
@@ -34,71 +34,84 @@ func figure2Config() config.Config {
 	return cfg
 }
 
-// Figure2 reproduces the paper's Figure 2: single-thread IPC (relative to
-// full speed) as one resource class is restricted, averaged over the
-// benchmarks. Per the paper's footnote, FP-resource curves average only the
-// FP benchmarks. The `benchmarks` argument subsets the suite (nil = all).
-//
-// The (benchmark, resource, fraction) restriction runs are enumerated up
-// front and executed on the suite's worker pool; each task writes only its
-// own slot, so accumulation over the completed grid is deterministic.
-func Figure2(s *Suite, benchmarks []string) (Figure2Result, error) {
-	if benchmarks == nil {
-		benchmarks = trace.Names()
-	}
-	r := s.Runner
+// figure2Run is one point of the restriction grid, tied to its cell.
+type figure2Run struct {
+	name string
+	rc   cpu.Resource
+	frac int // index into Figure2Fractions
+	cell campaign.Cell
+}
+
+// figure2Runs enumerates the restriction grid: per the paper's footnote,
+// FP-resource curves average only the FP benchmarks.
+func figure2Runs(benchmarks []string) []figure2Run {
 	cfg := figure2Config()
-	res := Figure2Result{PercentOfFull: make(map[cpu.Resource][]float64)}
-
-	// Full-speed baselines first: the restriction tasks divide by them.
-	baseErrs := make([]error, len(benchmarks))
-	s.engine().Run(len(benchmarks), func(i int) {
-		_, baseErrs[i] = r.SingleIPC(cfg, benchmarks[i])
-	})
-	if err := sim.FirstError(baseErrs); err != nil {
-		return res, err
-	}
-
-	type capRun struct {
-		name string
-		rc   cpu.Resource
-		frac int     // index into Figure2Fractions
-		full float64 // full-speed IPC, validated > 0 during enumeration
-
-		ratio float64 // filled by the worker: capped IPC / full IPC
-		err   error
-	}
-	var runs []capRun
+	var runs []figure2Run
 	for _, name := range benchmarks {
 		prof := trace.MustProfile(name)
-		full, err := r.SingleIPC(cfg, name)
-		if err != nil {
-			return res, err
-		}
-		if full <= 0 {
-			return res, fmt.Errorf("experiments: %s has zero full-speed IPC", name)
-		}
 		for _, rc := range Figure2Resources {
 			if rc.IsFP() && !prof.FP {
 				continue // FP curves average FP benchmarks only
 			}
-			for i := range Figure2Fractions {
-				runs = append(runs, capRun{name: name, rc: rc, frac: i, full: full})
+			for i, frac := range Figure2Fractions {
+				runs = append(runs, figure2Run{
+					name: name, rc: rc, frac: i,
+					cell: benchCell(cfg, name, capPolName(rc, frac)),
+				})
 			}
 		}
 	}
-	s.engine().Run(len(runs), func(i int) {
-		t := &runs[i]
-		capPol := &sim.CapPolicy{}
-		capPol.Caps[t.rc] = max(1, int(float64(totalOf(cfg, t.rc))*Figure2Fractions[t.frac]/100))
-		m, err := r.RunMachine(cfg, []trace.Profile{trace.MustProfile(t.name)}, capPol)
+	return runs
+}
+
+// Figure2Sweep declares the figure's cells: one full-speed ICOUNT baseline
+// per benchmark (the restriction ratios divide by it) plus the whole
+// (benchmark, resource, fraction) restriction grid. nil selects the full
+// Table 3 suite.
+func Figure2Sweep(benchmarks []string) campaign.Sweep {
+	if benchmarks == nil {
+		benchmarks = trace.Names()
+	}
+	cfg := figure2Config()
+	s := campaign.Sweep{Name: "fig2"}
+	for _, name := range benchmarks {
+		s.Cells = append(s.Cells, benchCell(cfg, name, polBase))
+	}
+	for _, r := range figure2Runs(benchmarks) {
+		s.Cells = append(s.Cells, r.cell)
+	}
+	return s
+}
+
+// Figure2 reproduces the paper's Figure 2: single-thread IPC (relative to
+// full speed) as one resource class is restricted, averaged over the
+// benchmarks. The `benchmarks` argument subsets the suite (nil = all).
+//
+// The declared sweep is executed on the suite's worker pool; the render loop
+// below consumes exactly the sweep's cells, so accumulation over the
+// completed grid is deterministic.
+func Figure2(s *Suite, benchmarks []string) (Figure2Result, error) {
+	if benchmarks == nil {
+		benchmarks = trace.Names()
+	}
+	cfg := figure2Config()
+	res := Figure2Result{PercentOfFull: make(map[cpu.Resource][]float64)}
+	if err := s.Prefetch(Figure2Sweep(benchmarks).Cells); err != nil {
+		return res, err
+	}
+
+	// Full-speed baselines: the restriction ratios divide by them.
+	full := make(map[string]float64, len(benchmarks))
+	for _, name := range benchmarks {
+		r, err := s.RunCell(benchCell(cfg, name, polBase))
 		if err != nil {
-			t.err = err
-			return
+			return res, err
 		}
-		st := m.Stats()
-		t.ratio = st.Threads[0].IPC(st.Cycles) / t.full
-	})
+		if r.IPCs[0] <= 0 {
+			return res, fmt.Errorf("experiments: %s has zero full-speed IPC", name)
+		}
+		full[name] = r.IPCs[0]
+	}
 
 	type curveAcc struct {
 		sum []float64
@@ -113,17 +126,17 @@ func Figure2(s *Suite, benchmarks []string) (Figure2Result, error) {
 		rc   cpu.Resource
 	}
 	seen := make(map[benchResource]bool) // (name, resource) pairs counted once
-	for i := range runs {
-		t := &runs[i]
-		if t.err != nil {
-			return res, t.err
+	for _, t := range figure2Runs(benchmarks) {
+		r, err := s.RunCell(t.cell)
+		if err != nil {
+			return res, err
 		}
 		a := acc[t.rc]
 		if k := (benchResource{t.name, t.rc}); !seen[k] {
 			seen[k] = true
 			a.n++
 		}
-		a.sum[t.frac] += t.ratio
+		a.sum[t.frac] += r.IPCs[0] / full[t.name]
 	}
 	for _, rc := range Figure2Resources {
 		a := acc[rc]
@@ -156,7 +169,7 @@ func totalOf(cfg config.Config, r cpu.Resource) int {
 	return 0
 }
 
-// Figure2Report renders the curves.
+// Report renders the curves.
 func (f Figure2Result) Report() *report.Table {
 	cols := []string{"% of resource"}
 	for _, rc := range Figure2Resources {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/metrics"
 	"dcra/internal/report"
@@ -25,19 +26,26 @@ type Figure4Result struct {
 	AvgHmean      float64
 }
 
+// Figure4Sweep declares the figure's cells: every workload type under DCRA
+// and SRA on the baseline configuration.
+func Figure4Sweep() campaign.Sweep {
+	cfg := config.Baseline()
+	s := campaign.Sweep{Name: "fig4"}
+	for _, n := range threadCounts {
+		for _, kind := range workload.Kinds {
+			s.Cells = append(s.Cells, kindCells(cfg, n, kind, PolDCRA, PolSRA)...)
+		}
+	}
+	return s
+}
+
 // Figure4 reproduces the paper's Figure 4: throughput and Hmean improvement
 // of DCRA over static resource allocation (SRA) per workload type. Paper
 // result: DCRA wins everywhere, ~7% throughput and ~8% Hmean on average,
 // with the largest gains on MIX workloads.
 func Figure4(s *Suite) (Figure4Result, error) {
 	cfg := config.Baseline()
-	var cells []workloadCell
-	for _, n := range threadCounts {
-		for _, kind := range workload.Kinds {
-			cells = append(cells, kindCells(cfg, n, kind, PolDCRA, PolSRA)...)
-		}
-	}
-	if err := s.prefetch(cells); err != nil {
+	if err := s.Prefetch(Figure4Sweep().Cells); err != nil {
 		return Figure4Result{}, err
 	}
 	var res Figure4Result

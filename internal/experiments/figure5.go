@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/metrics"
 	"dcra/internal/report"
@@ -33,19 +34,25 @@ type Figure5Result struct {
 	AvgThroughputImprovement map[PolicyName]float64
 }
 
-// Figure5 reproduces Figures 5(a) IPC throughput and 5(b) Hmean improvement.
-// All 144 cells (36 workloads x 4 policies) are enumerated up front and run
-// on the suite's worker pool before the per-cell averaging below reads them
-// back from the memo.
-func Figure5(s *Suite) (Figure5Result, error) {
+// Figure5Sweep declares the figure's cells: all 144 (36 workloads x 4
+// policies) on the baseline configuration.
+func Figure5Sweep() campaign.Sweep {
 	cfg := config.Baseline()
-	var cells []workloadCell
+	s := campaign.Sweep{Name: "fig5"}
 	for _, n := range threadCounts {
 		for _, kind := range workload.Kinds {
-			cells = append(cells, kindCells(cfg, n, kind, Figure5Policies...)...)
+			s.Cells = append(s.Cells, kindCells(cfg, n, kind, Figure5Policies...)...)
 		}
 	}
-	if err := s.prefetch(cells); err != nil {
+	return s
+}
+
+// Figure5 reproduces Figures 5(a) IPC throughput and 5(b) Hmean improvement.
+// The declared sweep is run on the suite's worker pool before the per-cell
+// averaging below reads the cells back from the memo.
+func Figure5(s *Suite) (Figure5Result, error) {
+	cfg := config.Baseline()
+	if err := s.Prefetch(Figure5Sweep().Cells); err != nil {
 		return Figure5Result{}, err
 	}
 	res := Figure5Result{

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/metrics"
 	"dcra/internal/report"
@@ -20,19 +21,25 @@ type Figure6Result struct {
 	Improvement map[PolicyName][]float64 // indexed like Figure6RegSizes
 }
 
+// Figure6Sweep declares the figure's cells: all 36 workloads under DCRA and
+// each comparison policy, at each register-pool size.
+func Figure6Sweep() campaign.Sweep {
+	s := campaign.Sweep{Name: "fig6"}
+	for _, regs := range Figure6RegSizes {
+		cfg := config.Baseline().WithPhysRegs(regs)
+		s.Cells = append(s.Cells, allWorkloadCells(cfg,
+			append([]PolicyName{PolDCRA}, Figure6Policies...)...)...)
+	}
+	return s
+}
+
 // Figure6 reproduces the paper's Figure 6: DCRA's Hmean advantage as the
 // physical register file grows. Paper shape: the advantage over SRA and
 // ICOUNT shrinks with more registers (starvation gets rarer), while the
 // advantage over DG and FLUSH++ grows (their deallocation/stall become
 // needless waste when resources are plentiful).
 func Figure6(s *Suite) (Figure6Result, error) {
-	var cells []workloadCell
-	for _, regs := range Figure6RegSizes {
-		cfg := config.Baseline().WithPhysRegs(regs)
-		cells = append(cells, allWorkloadCells(cfg,
-			append([]PolicyName{PolDCRA}, Figure6Policies...)...)...)
-	}
-	if err := s.prefetch(cells); err != nil {
+	if err := s.Prefetch(Figure6Sweep().Cells); err != nil {
 		return Figure6Result{}, err
 	}
 	res := Figure6Result{Improvement: make(map[PolicyName][]float64)}

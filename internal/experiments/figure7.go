@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/metrics"
 	"dcra/internal/report"
@@ -28,6 +29,18 @@ type Figure7Result struct {
 	Improvement map[PolicyName][]float64 // indexed like Figure7Points
 }
 
+// Figure7Sweep declares the figure's cells: all 36 workloads under DCRA and
+// each comparison policy, at each latency point.
+func Figure7Sweep() campaign.Sweep {
+	s := campaign.Sweep{Name: "fig7"}
+	for _, pt := range Figure7Points {
+		cfg := config.Baseline().WithMemLatency(pt.MemLatency, pt.L2Latency)
+		s.Cells = append(s.Cells, allWorkloadCells(cfg,
+			append([]PolicyName{PolDCRA}, Figure6Policies...)...)...)
+	}
+	return s
+}
+
 // Figure7 reproduces the paper's Figure 7: DCRA's Hmean advantage as memory
 // latency grows. DCRA's sharing factor follows the paper's per-latency
 // tuning (core.OptionsForLatency). Paper shape: ICOUNT degrades hard with
@@ -35,13 +48,7 @@ type Figure7Result struct {
 // policy that closes on DCRA at 500 cycles (deallocating on a miss pays off
 // when misses pin resources for longer).
 func Figure7(s *Suite) (Figure7Result, error) {
-	var cells []workloadCell
-	for _, pt := range Figure7Points {
-		cfg := config.Baseline().WithMemLatency(pt.MemLatency, pt.L2Latency)
-		cells = append(cells, allWorkloadCells(cfg,
-			append([]PolicyName{PolDCRA}, Figure6Policies...)...)...)
-	}
-	if err := s.prefetch(cells); err != nil {
+	if err := s.Prefetch(Figure7Sweep().Cells); err != nil {
 		return Figure7Result{}, err
 	}
 	res := Figure7Result{Improvement: make(map[PolicyName][]float64)}

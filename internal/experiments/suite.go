@@ -1,19 +1,27 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md §7 for the experiment index). Each Figure*/
-// Table* function returns both structured results (asserted by tests and
-// benchmarks) and a rendered report.Table.
+// evaluation (see EXPERIMENTS.md for the experiment index and the
+// paper-vs-measured record). Each Figure*/Table* function declares its sweep
+// — the campaign.Sweep enumerating every (config, workload, policy) cell it
+// needs — exactly once; prefetch submission, rendering, sharding and the
+// persistent result store all iterate that same enumeration.
 package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/core"
 	"dcra/internal/cpu"
 	"dcra/internal/metrics"
 	"dcra/internal/policy"
 	"dcra/internal/sim"
+	"dcra/internal/singleflight"
+	"dcra/internal/trace"
 	"dcra/internal/workload"
 )
 
@@ -31,6 +39,12 @@ const (
 	PolSRA     PolicyName = "SRA"
 	PolDCRA    PolicyName = "DCRA"
 )
+
+// multithreadPolicies lists every policy newPolicy can build.
+var multithreadPolicies = map[PolicyName]bool{
+	PolICount: true, PolStall: true, PolFlush: true, PolFlushPP: true,
+	PolDG: true, PolPDG: true, PolSRA: true, PolDCRA: true,
+}
 
 // newPolicy builds a fresh policy instance. DCRA's sharing factor follows
 // the paper's latency tuning (Section 5.3), so it depends on cfg.
@@ -56,35 +70,80 @@ func newPolicy(name PolicyName, cfg config.Config) cpu.Policy {
 	panic("experiments: unknown policy " + string(name))
 }
 
-// Cell identifies one memoisable simulation: a (config, workload, policy)
-// triple. config.Config is a struct of scalars, so Cell is comparable and
-// serves directly as the memo key — no fmt.Sprintf key building per probe.
-type Cell struct {
-	Cfg config.Config
-	WID string // workload.Workload.ID()
-	Pol PolicyName
+// Single-thread cell vocabulary: campaign cells whose WID is "bench:<name>"
+// run one benchmark alone. Pol selects the run protocol:
+//
+//	BASE               — ICOUNT baseline (the SingleIPC measurement)
+//	CAP                — uncapped CapPolicy run (Table 3's measurement)
+//	CAP:<res>:<pct>    — CapPolicy with resource <res> capped to <pct> percent
+//	                     of the single-thread total (Figure 2's restriction)
+const (
+	benchPrefix = "bench:"
+	polBase     = "BASE"
+	polCap      = "CAP"
+)
+
+// benchCell builds the cell for one single-benchmark run.
+func benchCell(cfg config.Config, name, pol string) campaign.Cell {
+	return campaign.Cell{Cfg: cfg, WID: benchPrefix + name, Pol: pol}
 }
 
-// cellState is a single-flight slot: the first worker to claim a cell
-// computes it, concurrent requesters wait on done and share the result.
-type cellState struct {
-	done chan struct{}
-	res  sim.Result
-	err  error
+// capPolName encodes a Figure 2 restriction as a policy string.
+func capPolName(rc cpu.Resource, fraction float64) string {
+	return fmt.Sprintf("%s:%s:%s", polCap, rc, strconv.FormatFloat(fraction, 'g', -1, 64))
+}
+
+// parseCapPol decodes a "CAP:<res>:<pct>" policy string.
+func parseCapPol(pol string) (cpu.Resource, float64, error) {
+	parts := strings.Split(pol, ":")
+	if len(parts) != 3 || parts[0] != polCap {
+		return 0, 0, fmt.Errorf("experiments: malformed cap policy %q", pol)
+	}
+	rc, err := parseResource(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	frac, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: malformed cap fraction in %q: %w", pol, err)
+	}
+	return rc, frac, nil
+}
+
+// parseResource resolves a cpu.Resource display name.
+func parseResource(name string) (cpu.Resource, error) {
+	for r := cpu.Resource(0); r < cpu.NumResources; r++ {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown resource %q", name)
 }
 
 // Suite runs experiments with result memoisation: the same (workload,
 // policy, configuration) run is shared between figures — Figure 5's DCRA
 // runs at the baseline are also Figure 4's and Figure 6's middle points.
 // The memo is safe for concurrent use; each Figure*/Table* function
-// enumerates its cells up front, submits them to the engine's worker pool,
+// enumerates its sweep up front, submits it to the engine's worker pool,
 // then renders from the completed results.
+//
+// With Store set, the memo is additionally layered over the persistent
+// on-disk campaign store: cell lookups hit disk before simulating, and fresh
+// simulations are persisted, so re-runs and figure re-renders across
+// processes cost file reads instead of resimulation. The store's Params must
+// match the Runner's windows and seed (campaign.Open enforces this).
 type Suite struct {
 	Runner *sim.Runner
 	Engine *sim.Engine
+	Store  *campaign.Store // optional persistent result store
 
-	mu    sync.Mutex
-	cache map[Cell]*cellState
+	memo singleflight.Memo[campaign.Cell, sim.Result]
+
+	simulated atomic.Int64
+	storeHits atomic.Int64
+
+	mu        sync.Mutex
+	requested map[campaign.Cell]struct{}
 }
 
 // NewSuite builds a Suite with the default measurement windows, running
@@ -93,7 +152,6 @@ func NewSuite() *Suite {
 	return &Suite{
 		Runner: sim.NewRunner(),
 		Engine: sim.NewEngine(0),
-		cache:  make(map[Cell]*cellState),
 	}
 }
 
@@ -106,37 +164,133 @@ func NewQuickSuite() *Suite {
 	return s
 }
 
-// run returns the memoised result of one (cfg, workload, policy) cell,
-// computing it if no prefetch has. Concurrent callers single-flight.
-func (s *Suite) run(cfg config.Config, w workload.Workload, pn PolicyName) (sim.Result, error) {
-	key := Cell{Cfg: cfg, WID: w.ID(), Pol: pn}
-	s.mu.Lock()
-	if s.cache == nil {
-		s.cache = make(map[Cell]*cellState)
-	}
-	if c, ok := s.cache[key]; ok {
-		s.mu.Unlock()
-		<-c.done
-		return c.res, c.err
-	}
-	c := &cellState{done: make(chan struct{})}
-	s.cache[key] = c
-	s.mu.Unlock()
+// StoreParams returns the campaign store protocol matching this suite's
+// runner, for campaign.Open.
+func (s *Suite) StoreParams() campaign.Params {
+	return campaign.Params{Warmup: s.Runner.Warmup, Measure: s.Runner.Measure, Seed: s.Runner.Seed}
+}
 
-	// done must close even if the run panics (e.g. an unknown policy name):
-	// concurrent waiters on this cell would otherwise block forever. The
-	// panic is published as the cell's error first, so if some outer harness
-	// recovers it the memo holds a failure, not a zero result with nil error.
-	defer func() {
-		if p := recover(); p != nil {
-			c.err = fmt.Errorf("experiments: cell %s/%s panicked: %v", w.ID(), pn, p)
-			close(c.done)
-			panic(p)
+// Simulated returns how many cells this suite actually simulated (memo and
+// store hits excluded) — the number a fully-populated store drives to zero.
+func (s *Suite) Simulated() int64 { return s.simulated.Load() }
+
+// StoreHits returns how many cell requests were served by the persistent
+// store instead of simulation.
+func (s *Suite) StoreHits() int64 { return s.storeHits.Load() }
+
+// RunCell returns the memoised result of one campaign cell, computing (or
+// loading from the store) on first request. Concurrent callers
+// single-flight. RunCell records the cell as demanded by rendering; the
+// sweep-parity tests assert that the demanded set of every Figure*/Table* is
+// exactly its declared sweep.
+func (s *Suite) RunCell(c campaign.Cell) (sim.Result, error) {
+	s.mu.Lock()
+	if s.requested == nil {
+		s.requested = make(map[campaign.Cell]struct{})
+	}
+	s.requested[c] = struct{}{}
+	s.mu.Unlock()
+	return s.runCell(c)
+}
+
+// runCell is RunCell without demand tracking; Prefetch uses it so that the
+// requested set reflects what rendering consumed, not what the sweep
+// submitted.
+func (s *Suite) runCell(c campaign.Cell) (sim.Result, error) {
+	return s.memo.Do(c, func() (sim.Result, error) {
+		if s.Store != nil {
+			r, computed, err := s.Store.Do(c, func() (sim.Result, error) { return s.computeCell(c) })
+			if err == nil {
+				if computed {
+					s.simulated.Add(1)
+				} else {
+					s.storeHits.Add(1)
+				}
+			}
+			return r, err
 		}
-		close(c.done)
-	}()
-	c.res, c.err = s.Runner.RunWorkload(cfg, w, func() cpu.Policy { return newPolicy(pn, cfg) })
-	return c.res, c.err
+		r, err := s.computeCell(c)
+		if err == nil {
+			s.simulated.Add(1)
+		}
+		return r, err
+	})
+}
+
+// RequestedCells returns the set of cells demanded through RunCell (i.e. by
+// render loops), for sweep/enumeration parity checks.
+func (s *Suite) RequestedCells() map[campaign.Cell]struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := make(map[campaign.Cell]struct{}, len(s.requested))
+	for c := range s.requested {
+		set[c] = struct{}{}
+	}
+	return set
+}
+
+// computeCell simulates one cell: a multiprogrammed Table 4 workload under a
+// named policy, or a "bench:" single-thread protocol cell.
+func (s *Suite) computeCell(c campaign.Cell) (sim.Result, error) {
+	if name, ok := strings.CutPrefix(c.WID, benchPrefix); ok {
+		return s.computeBenchCell(c, name)
+	}
+	w, err := workload.ByID(c.WID)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	pn := PolicyName(c.Pol)
+	if !multithreadPolicies[pn] {
+		return sim.Result{}, fmt.Errorf("experiments: cell %s: unknown policy %q", c, c.Pol)
+	}
+	return s.Runner.RunWorkload(c.Cfg, w, func() cpu.Policy { return newPolicy(pn, c.Cfg) })
+}
+
+// computeBenchCell runs one benchmark alone under a single-thread protocol
+// policy. The result carries the thread's IPC and full statistics; Hmean and
+// weighted speedup stay zero (they are relative metrics and need no
+// single-thread baseline here — the run IS the baseline).
+func (s *Suite) computeBenchCell(c campaign.Cell, name string) (sim.Result, error) {
+	prof, err := trace.ProfileByName(name)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var pol cpu.Policy
+	switch {
+	case c.Pol == polBase:
+		pol = policy.NewICount()
+	case c.Pol == polCap:
+		pol = &sim.CapPolicy{}
+	case strings.HasPrefix(c.Pol, polCap+":"):
+		rc, frac, err := parseCapPol(c.Pol)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		capPol := &sim.CapPolicy{}
+		capPol.Caps[rc] = max(1, int(float64(totalOf(c.Cfg, rc))*frac/100))
+		pol = capPol
+	default:
+		return sim.Result{}, fmt.Errorf("experiments: cell %s: unknown single-thread policy %q", c, c.Pol)
+	}
+	m, err := s.Runner.RunMachine(c.Cfg, []trace.Profile{prof}, pol)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: bench cell %s: %w", c, err)
+	}
+	st := m.Stats()
+	ipc := st.Threads[0].IPC(st.Cycles)
+	return sim.Result{
+		Workload:   workload.Workload{Threads: 1, Names: []string{name}},
+		Policy:     pol.Name(),
+		Stats:      st,
+		IPCs:       []float64{ipc},
+		Throughput: ipc,
+	}, nil
+}
+
+// run returns the memoised result of one (cfg, workload, policy) cell — the
+// workload-cell convenience form of RunCell.
+func (s *Suite) run(cfg config.Config, w workload.Workload, pn PolicyName) (sim.Result, error) {
+	return s.RunCell(cellOf(cfg, w, pn))
 }
 
 // engine returns the suite's engine, defaulting to GOMAXPROCS workers for
@@ -148,33 +302,30 @@ func (s *Suite) engine() *sim.Engine {
 	return s.Engine
 }
 
-// workloadCell pairs a resolved workload with its configuration and policy
-// so prefetch tasks need no re-lookup.
-type workloadCell struct {
-	cfg config.Config
-	w   workload.Workload
-	pn  PolicyName
-}
-
-// prefetch computes every cell on the worker pool, filling the memo. Cells
-// already computed (or in flight from an earlier figure) cost one memo
-// probe. The first error in submission order is returned, matching what a
-// serial run would have reported.
-func (s *Suite) prefetch(cells []workloadCell) error {
+// Prefetch computes every cell of a sweep on the worker pool, filling the
+// memo (and the store, if attached). Cells already computed (or in flight
+// from an earlier figure) cost one memo probe. The first error in submission
+// order is returned, matching what a serial run would have reported.
+func (s *Suite) Prefetch(cells []campaign.Cell) error {
 	errs := make([]error, len(cells))
 	s.engine().Run(len(cells), func(i int) {
-		_, errs[i] = s.run(cells[i].cfg, cells[i].w, cells[i].pn)
+		_, errs[i] = s.runCell(cells[i])
 	})
 	return sim.FirstError(errs)
 }
 
+// cellOf builds the campaign cell of one (config, workload, policy) run.
+func cellOf(cfg config.Config, w workload.Workload, pn PolicyName) campaign.Cell {
+	return campaign.Cell{Cfg: cfg, WID: w.ID(), Pol: string(pn)}
+}
+
 // kindCells enumerates the cells of all four groups of one (threads, kind)
 // workload type under each policy.
-func kindCells(cfg config.Config, threads int, kind workload.Kind, pns ...PolicyName) []workloadCell {
-	var cells []workloadCell
+func kindCells(cfg config.Config, threads int, kind workload.Kind, pns ...PolicyName) []campaign.Cell {
+	var cells []campaign.Cell
 	for _, w := range workload.Groups(threads, kind) {
 		for _, pn := range pns {
-			cells = append(cells, workloadCell{cfg: cfg, w: w, pn: pn})
+			cells = append(cells, cellOf(cfg, w, pn))
 		}
 	}
 	return cells
@@ -182,11 +333,11 @@ func kindCells(cfg config.Config, threads int, kind workload.Kind, pns ...Policy
 
 // allWorkloadCells enumerates cells for every Table 4 workload under each
 // policy.
-func allWorkloadCells(cfg config.Config, pns ...PolicyName) []workloadCell {
-	var cells []workloadCell
+func allWorkloadCells(cfg config.Config, pns ...PolicyName) []campaign.Cell {
+	var cells []campaign.Cell
 	for _, w := range workload.All() {
 		for _, pn := range pns {
-			cells = append(cells, workloadCell{cfg: cfg, w: w, pn: pn})
+			cells = append(cells, cellOf(cfg, w, pn))
 		}
 	}
 	return cells

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcra/internal/campaign"
+)
+
+// sweepSuite builds a suite with very small windows: the sweep tests assert
+// enumeration identities and bit-identical recombination, not metric
+// quality, so the cells only need to run, not converge.
+func sweepSuite() *Suite {
+	s := NewQuickSuite()
+	s.Runner.Warmup, s.Runner.Measure = 1_000, 4_000
+	return s
+}
+
+// TestSweepRenderParity: for every experiment, the cells demanded by the
+// render path must be exactly the declared sweep's cells — no silent serial
+// fallback (a rendered cell missing from the sweep would be computed
+// on-demand and escape sharding/prefetch), and no dead sweep points (a
+// declared cell no render consumes would burn shard time for nothing).
+func TestSweepRenderParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Key, func(t *testing.T) {
+			s := sweepSuite()
+			if _, err := spec.Render(s); err != nil {
+				t.Fatal(err)
+			}
+			assertCellParity(t, spec.Sweep(), s)
+		})
+	}
+}
+
+// TestSweepRenderParitySubset: Figure 2 and Table 3 accept benchmark
+// subsets; their parameterised sweeps must stay in lockstep with the
+// parameterised render.
+func TestSweepRenderParitySubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	benches := []string{"gzip", "swim"}
+	s := sweepSuite()
+	if _, err := Figure2(s, benches); err != nil {
+		t.Fatal(err)
+	}
+	assertCellParity(t, Figure2Sweep(benches), s)
+
+	s = sweepSuite()
+	if _, err := Table3(s, benches); err != nil {
+		t.Fatal(err)
+	}
+	assertCellParity(t, Table3Sweep(benches), s)
+}
+
+func assertCellParity(t *testing.T, sweep campaign.Sweep, s *Suite) {
+	t.Helper()
+	declared := sweep.CellSet()
+	requested := s.RequestedCells()
+	for c := range requested {
+		if _, ok := declared[c]; !ok {
+			t.Errorf("render demanded %s which the sweep does not declare (serial fallback)", c)
+		}
+	}
+	for c := range declared {
+		if _, ok := requested[c]; !ok {
+			t.Errorf("sweep declares %s which no render consumed", c)
+		}
+	}
+	if t.Failed() {
+		t.Logf("sweep %s: %d declared, %d requested", sweep.Name, len(declared), len(requested))
+	}
+}
+
+// TestShardMergeMatchesUnsharded proves the campaign contract end to end:
+// splitting a figure's sweep into shards, running each shard in its own
+// suite (as separate hosts would), merging the shard files into a store and
+// rendering from it is bit-identical to a single-process run — and the
+// store-backed render resimulates nothing.
+func TestShardMergeMatchesUnsharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	spec, err := SpecByKey("tab5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := spec.Sweep()
+
+	// Single-process reference run.
+	ref := sweepSuite()
+	refTables, err := spec.Render(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard runs: independent suites, nothing shared but the enumeration.
+	const shards = 3
+	dir := t.TempDir()
+	var files []string
+	for i := 0; i < shards; i++ {
+		part, err := sweep.Shard(i, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sweepSuite()
+		if err := s.Prefetch(part); err != nil {
+			t.Fatal(err)
+		}
+		sf := campaign.ShardFile{
+			Campaign: spec.Key, SweepHash: sweep.Hash(),
+			Shards: shards, Shard: i, Params: s.StoreParams(),
+		}
+		for _, c := range part {
+			r, err := s.RunCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sf.Cells = append(sf.Cells, campaign.CellResult{Key: c.Key(), Cell: c, Result: r})
+		}
+		path := filepath.Join(dir, spec.Key+"-"+string(rune('0'+i))+".json")
+		if err := campaign.WriteShard(path, sf); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+
+	// Merge and render from the store with a fresh suite.
+	merged := sweepSuite()
+	store, err := campaign.Open(filepath.Join(dir, "store"), merged.StoreParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Merge(store, files); err != nil {
+		t.Fatal(err)
+	}
+	merged.Store = store
+	mergedTables, err := spec.Render(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-cell results must be bit-identical to the reference run.
+	for _, c := range sweep.Cells {
+		want, err := ref.RunCell(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := store.Get(c)
+		if err != nil || !ok {
+			t.Fatalf("merged store missing %s (ok %v, err %v)", c, ok, err)
+		}
+		if got.Throughput != want.Throughput || got.Hmean != want.Hmean {
+			t.Errorf("%s: merged (%v, %v) != unsharded (%v, %v)",
+				c, got.Throughput, got.Hmean, want.Throughput, want.Hmean)
+		}
+	}
+
+	// Rendered tables must be byte-identical.
+	if len(mergedTables) != len(refTables) {
+		t.Fatalf("merged render has %d tables, reference %d", len(mergedTables), len(refTables))
+	}
+	for i := range refTables {
+		want := refTables[i].Table.String()
+		got := mergedTables[i].Table.String()
+		if got != want {
+			t.Errorf("table %s differs between merged-store and single-process render:\n--- merged\n%s--- unsharded\n%s",
+				refTables[i].Name, got, want)
+		}
+	}
+
+	// The store-backed render must not have simulated anything.
+	if n := merged.Simulated(); n != 0 {
+		t.Errorf("store-backed render simulated %d cells, want 0", n)
+	}
+	if n := merged.StoreHits(); n != int64(len(sweep.Cells)) {
+		t.Errorf("store-backed render hit the store %d times, want %d", n, len(sweep.Cells))
+	}
+
+	// A second render on the same suite is served from the memo alone.
+	if _, err := spec.Render(merged); err != nil {
+		t.Fatal(err)
+	}
+	if n := merged.Simulated(); n != 0 {
+		t.Errorf("re-render simulated %d cells", n)
+	}
+}
+
+// TestSpecKeysUniqueAndResolvable guards the CLI contract.
+func TestSpecKeysUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, spec := range Specs() {
+		if spec.Key == "" || spec.Title == "" || spec.Sweep == nil || spec.Render == nil {
+			t.Fatalf("spec %+v is incomplete", spec)
+		}
+		if seen[spec.Key] {
+			t.Fatalf("duplicate spec key %q", spec.Key)
+		}
+		seen[spec.Key] = true
+		got, err := SpecByKey(spec.Key)
+		if err != nil || got.Key != spec.Key {
+			t.Fatalf("SpecByKey(%q) = %v, %v", spec.Key, got.Key, err)
+		}
+		if spec.Sweep().Name != spec.Key {
+			t.Fatalf("spec %q declares sweep named %q", spec.Key, spec.Sweep().Name)
+		}
+	}
+	if _, err := SpecByKey("nope"); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("SpecByKey(nope) = %v", err)
+	}
+}

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/report"
-	"dcra/internal/sim"
 	"dcra/internal/trace"
 )
 
@@ -18,26 +18,40 @@ type Table3Row struct {
 	IPC         float64
 }
 
+// Table3Sweep declares the table's cells: one uncapped single-thread
+// measurement run per benchmark on the baseline configuration. nil selects
+// the full Table 3 suite.
+func Table3Sweep(benchmarks []string) campaign.Sweep {
+	if benchmarks == nil {
+		benchmarks = trace.Names()
+	}
+	cfg := config.Baseline()
+	s := campaign.Sweep{Name: "tab3"}
+	for _, name := range benchmarks {
+		s.Cells = append(s.Cells, benchCell(cfg, name, polCap))
+	}
+	return s
+}
+
 // Table3 reproduces the paper's Table 3: per-benchmark L2 miss rates and
-// the MEM/ILP split, measured on single-thread baseline runs. One run per
-// benchmark, all independent, executed on the suite's worker pool with each
-// task filling its own row.
+// the MEM/ILP split, measured on single-thread baseline runs. The declared
+// sweep — one independent run per benchmark — executes on the suite's
+// worker pool; each row renders from its cell's stored statistics.
 func Table3(s *Suite, benchmarks []string) ([]Table3Row, error) {
 	if benchmarks == nil {
 		benchmarks = trace.Names()
 	}
 	cfg := config.Baseline()
+	if err := s.Prefetch(Table3Sweep(benchmarks).Cells); err != nil {
+		return nil, err
+	}
 	rows := make([]Table3Row, len(benchmarks))
-	errs := make([]error, len(benchmarks))
-	s.engine().Run(len(benchmarks), func(i int) {
-		name := benchmarks[i]
+	for i, name := range benchmarks {
 		p := trace.MustProfile(name)
-		m, err := s.Runner.RunMachine(cfg, []trace.Profile{p}, &sim.CapPolicy{})
+		r, err := s.RunCell(benchCell(cfg, name, polCap))
 		if err != nil {
-			errs[i] = err
-			return
+			return nil, err
 		}
-		st := m.Stats()
 		suite := "INTEGER"
 		if p.FP {
 			suite = "FP"
@@ -46,13 +60,10 @@ func Table3(s *Suite, benchmarks []string) ([]Table3Row, error) {
 			Name:        name,
 			Suite:       suite,
 			Type:        p.Type(),
-			L2MissRate:  st.Threads[0].L2MissRate(),
+			L2MissRate:  r.Stats.Threads[0].L2MissRate(),
 			PaperL2Rate: p.PaperL2MissRate,
-			IPC:         st.Threads[0].IPC(st.Cycles),
+			IPC:         r.IPCs[0],
 		}
-	})
-	if err := sim.FirstError(errs); err != nil {
-		return nil, err
 	}
 	return rows, nil
 }

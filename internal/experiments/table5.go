@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/metrics"
 	"dcra/internal/report"
@@ -22,17 +23,24 @@ var paperTable5 = map[workload.Kind][3]float64{
 	workload.MEM: {85.0, 14.7, 0.3},
 }
 
+// Table5Sweep declares the table's cells: every 2-thread workload under
+// DCRA on the baseline configuration.
+func Table5Sweep() campaign.Sweep {
+	cfg := config.Baseline()
+	s := campaign.Sweep{Name: "tab5"}
+	for _, kind := range workload.Kinds {
+		s.Cells = append(s.Cells, kindCells(cfg, 2, kind, PolDCRA)...)
+	}
+	return s
+}
+
 // Table5 reproduces the paper's Table 5: the distribution of DCRA phase
 // pairs for the 2-thread workloads, averaged over the four groups of each
 // type. Classification is the DCRA signal itself (pending L1D misses),
 // sampled every cycle by the pipeline.
 func Table5(s *Suite) ([]Table5Row, error) {
 	cfg := config.Baseline()
-	var cells []workloadCell
-	for _, kind := range workload.Kinds {
-		cells = append(cells, kindCells(cfg, 2, kind, PolDCRA)...)
-	}
-	if err := s.prefetch(cells); err != nil {
+	if err := s.Prefetch(Table5Sweep().Cells); err != nil {
 		return nil, err
 	}
 	rows := make([]Table5Row, 0, len(workload.Kinds))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"dcra/internal/campaign"
 	"dcra/internal/config"
 	"dcra/internal/metrics"
 	"dcra/internal/report"
@@ -17,16 +18,35 @@ type ActivityResult struct {
 	FetchedDCRA    uint64
 }
 
-// FrontEndActivity measures the re-fetch overhead FLUSH++ pays for its
-// squashes, summed over all 36 workloads, at the given memory latency
-// (paired with the paper's matching L2 latency).
-func FrontEndActivity(s *Suite, memLatency int) (ActivityResult, error) {
+// activityConfig is the configuration measured at one latency point.
+func activityConfig(memLatency int) config.Config {
 	l2 := map[int]int{100: 10, 300: 20, 500: 25}[memLatency]
 	if l2 == 0 {
 		l2 = config.Baseline().L2.Latency
 	}
-	cfg := config.Baseline().WithMemLatency(memLatency, l2)
-	if err := s.prefetch(allWorkloadCells(cfg, PolFlushPP, PolDCRA)); err != nil {
+	return config.Baseline().WithMemLatency(memLatency, l2)
+}
+
+// ActivityLatencies are the latency points of the paper's front-end
+// activity measurement.
+var ActivityLatencies = []int{300, 500}
+
+// ActivitySweep declares the measurement's cells: all 36 workloads under
+// FLUSH++ and DCRA at each reported latency point.
+func ActivitySweep() campaign.Sweep {
+	s := campaign.Sweep{Name: "activity"}
+	for _, lat := range ActivityLatencies {
+		s.Cells = append(s.Cells, allWorkloadCells(activityConfig(lat), PolFlushPP, PolDCRA)...)
+	}
+	return s
+}
+
+// FrontEndActivity measures the re-fetch overhead FLUSH++ pays for its
+// squashes, summed over all 36 workloads, at the given memory latency
+// (paired with the paper's matching L2 latency).
+func FrontEndActivity(s *Suite, memLatency int) (ActivityResult, error) {
+	cfg := activityConfig(memLatency)
+	if err := s.Prefetch(allWorkloadCells(cfg, PolFlushPP, PolDCRA)); err != nil {
 		return ActivityResult{MemLatency: memLatency}, err
 	}
 	res := ActivityResult{MemLatency: memLatency}
@@ -68,12 +88,21 @@ type MLPResult struct {
 	IncreasePct float64
 }
 
+// MLPSweep declares the measurement's cells: all 36 workloads under DCRA
+// and FLUSH++ on the baseline configuration.
+func MLPSweep() campaign.Sweep {
+	return campaign.Sweep{
+		Name:  "mlp",
+		Cells: allWorkloadCells(config.Baseline(), PolDCRA, PolFlushPP),
+	}
+}
+
 // MemoryParallelism reproduces the paper's overlapping-miss measurement:
 // DCRA lets missing threads keep issuing loads, raising MLP over FLUSH++
 // (paper: +22% ILP, +32% MIX, ~+0.5% MEM; +18% average).
 func MemoryParallelism(s *Suite) ([]MLPResult, error) {
 	cfg := config.Baseline()
-	if err := s.prefetch(allWorkloadCells(cfg, PolDCRA, PolFlushPP)); err != nil {
+	if err := s.Prefetch(MLPSweep().Cells); err != nil {
 		return nil, err
 	}
 	var out []MLPResult

@@ -5,12 +5,12 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"dcra/internal/config"
 	"dcra/internal/cpu"
 	"dcra/internal/metrics"
 	"dcra/internal/policy"
+	"dcra/internal/singleflight"
 	"dcra/internal/stats"
 	"dcra/internal/trace"
 	"dcra/internal/workload"
@@ -41,14 +41,6 @@ type baselineKey struct {
 	name string
 }
 
-// baselineCell is a single-flight slot for one baseline: the first caller
-// computes, every concurrent caller waits on done.
-type baselineCell struct {
-	done chan struct{}
-	ipc  float64
-	err  error
-}
-
 // Runner executes simulations with fixed warmup/measurement windows and a
 // fixed seed, and caches single-thread baselines per configuration. The
 // baseline cache is safe for concurrent use: parallel experiment workers
@@ -60,8 +52,7 @@ type Runner struct {
 	Measure uint64 // measured cycles
 	Seed    uint64
 
-	mu       sync.Mutex
-	baseline map[baselineKey]*baselineCell
+	baseline singleflight.Memo[baselineKey, float64]
 }
 
 // NewRunner returns a Runner with the default windows used throughout the
@@ -115,39 +106,16 @@ func (r *Runner) RunWorkload(cfg config.Config, w workload.Workload, mk PolicyFa
 // thread every non-partitioning policy behaves identically). Concurrent
 // callers for the same (cfg, name) share one simulation.
 func (r *Runner) SingleIPC(cfg config.Config, name string) (float64, error) {
-	key := baselineKey{cfg: cfg, name: name}
-	r.mu.Lock()
-	if r.baseline == nil {
-		r.baseline = make(map[baselineKey]*baselineCell)
-	}
-	if c, ok := r.baseline[key]; ok {
-		r.mu.Unlock()
-		<-c.done
-		return c.ipc, c.err
-	}
-	c := &baselineCell{done: make(chan struct{})}
-	r.baseline[key] = c
-	r.mu.Unlock()
-
-	// done must close even if the run panics (MustProfile panics on an
-	// unknown benchmark): concurrent waiters would otherwise block forever.
-	// The panic is published as the cell's error first, so if some outer
-	// harness recovers it the cache holds a failure, not IPC 0 with nil error.
-	defer func() {
-		if p := recover(); p != nil {
-			c.err = fmt.Errorf("sim: baseline %s panicked: %v", name, p)
-			close(c.done)
-			panic(p)
+	// singleflight.Memo keeps waiters from blocking forever even if the run
+	// panics (MustProfile panics on an unknown benchmark): the panic is
+	// published as the key's error before propagating.
+	return r.baseline.Do(baselineKey{cfg: cfg, name: name}, func() (float64, error) {
+		m, err := r.RunMachine(cfg, []trace.Profile{trace.MustProfile(name)}, policy.NewICount())
+		if err != nil {
+			return 0, fmt.Errorf("sim: baseline %s: %w", name, err)
 		}
-		close(c.done)
-	}()
-	m, err := r.RunMachine(cfg, []trace.Profile{trace.MustProfile(name)}, policy.NewICount())
-	if err != nil {
-		c.err = fmt.Errorf("sim: baseline %s: %w", name, err)
-	} else {
-		c.ipc = m.Stats().Threads[0].IPC(m.Stats().Cycles)
-	}
-	return c.ipc, c.err
+		return m.Stats().Threads[0].IPC(m.Stats().Cycles), nil
+	})
 }
 
 // CapPolicy is a utility policy for resource-restriction studies (the

@@ -1,0 +1,67 @@
+// Package singleflight provides a generic memoising single-flight map: the
+// first caller for a key computes the value while concurrent callers for the
+// same key block and share the result. It is the one synchronisation pattern
+// behind the experiment suite's cell memo, the simulator's baseline cache and
+// the campaign store's in-flight cells.
+package singleflight
+
+import (
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight or completed computation.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Memo is a memoising single-flight map from K to V. The zero value is ready
+// to use. Values are computed at most once per key and retained; every caller
+// for a key observes the identical value and error.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*call[V]
+}
+
+// Do returns the memoised value for key, computing it with fn if this is the
+// first request. Concurrent callers for the same key block until the first
+// call completes and then share its result.
+//
+// done must close even if fn panics: concurrent waiters would otherwise block
+// forever. The panic is published as the key's error first, so if some outer
+// harness recovers the panic the memo holds a failure, not a zero value with
+// a nil error.
+func (g *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			c.err = fmt.Errorf("singleflight: computing %v panicked: %v", key, p)
+			close(c.done)
+			panic(p)
+		}
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err
+}
+
+// Len returns the number of memoised (or in-flight) keys.
+func (g *Memo[K, V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,85 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoMemoises(t *testing.T) {
+	var g Memo[string, int]
+	var calls atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, err := g.Do("k", func() (int, error) {
+			calls.Add(1)
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Fatalf("Do = %d, %v", v, err)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn called %d times, want 1", n)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestDoSharesErrors(t *testing.T) {
+	var g Memo[int, string]
+	boom := errors.New("boom")
+	if _, err := g.Do(1, func() (string, error) { return "", boom }); !errors.Is(err, boom) {
+		t.Fatalf("first call err = %v", err)
+	}
+	// The error is memoised like a value: no retry.
+	if _, err := g.Do(1, func() (string, error) { return "ok", nil }); !errors.Is(err, boom) {
+		t.Fatalf("second call err = %v, want memoised %v", err, boom)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	var g Memo[string, int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _ := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 7, nil
+			})
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn called %d times under contention, want 1", n)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("waiter %d saw %d, want 7", i, v)
+		}
+	}
+}
+
+func TestDoPanicPublishesError(t *testing.T) {
+	var g Memo[string, int]
+	func() {
+		defer func() { recover() }()
+		g.Do("k", func() (int, error) { panic("kaboom") })
+		t.Fatal("Do did not propagate the panic")
+	}()
+	// A waiter arriving after the panic sees the published error, not a
+	// zero value with nil error, and does not block.
+	if _, err := g.Do("k", func() (int, error) { return 1, nil }); err == nil {
+		t.Fatal("post-panic Do returned nil error")
+	}
+}

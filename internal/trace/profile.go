@@ -1,7 +1,7 @@
 // Package trace generates synthetic instruction streams that stand in for
 // the paper's Alpha SPEC2000 traces.
 //
-// The substitution is documented in DESIGN.md §3/§4: every policy the paper
+// The substitution is documented in EXPERIMENTS.md: every policy the paper
 // studies reacts only to dynamic resource-demand signals (queue and register
 // occupancy, cache misses, branch mispredictions, dependency-limited ILP),
 // so a statistical model that reproduces those signals — with real simulated
@@ -368,6 +368,17 @@ func MustProfile(name string) Profile {
 		panic("trace: unknown benchmark " + name)
 	}
 	return p
+}
+
+// ProfileByName returns the named benchmark profile, with an error rather
+// than a panic for names arriving from external inputs (campaign cells,
+// shard files).
+func ProfileByName(name string) (Profile, error) {
+	p, ok := Benchmarks()[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+	}
+	return p, nil
 }
 
 // Names returns all benchmark names in a deterministic order: MEM first in

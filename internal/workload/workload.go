@@ -5,6 +5,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"dcra/internal/trace"
 )
@@ -148,6 +149,25 @@ func All() []Workload {
 		}
 	}
 	return ws
+}
+
+// idIndex maps Workload.ID() strings back to workloads, built once.
+var idIndex = sync.OnceValue(func() map[string]Workload {
+	m := make(map[string]Workload)
+	for _, w := range All() {
+		m[w.ID()] = w
+	}
+	return m
+})
+
+// ByID resolves a Workload.ID() string (e.g. "MEM2.g1") back to the
+// workload. Campaign cells carry workload identity as these strings.
+func ByID(id string) (Workload, error) {
+	w, ok := idIndex()[id]
+	if !ok {
+		return Workload{}, fmt.Errorf("workload: unknown workload id %q", id)
+	}
+	return w, nil
 }
 
 // BenchmarksUsed returns the deduplicated set of benchmark names appearing
