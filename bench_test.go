@@ -15,6 +15,7 @@ import (
 	"dcra"
 	"dcra/internal/cpu"
 	"dcra/internal/experiments"
+	"dcra/internal/sim"
 )
 
 // quickSuite builds a reduced-window suite per benchmark iteration set.
@@ -162,6 +163,41 @@ func BenchmarkMemoryParallelism(b *testing.B) {
 		}
 		b.ReportMetric(avg/float64(len(rows)), "mlp-increase-%")
 	}
+}
+
+// BenchmarkMachineSetup measures the per-cell machine acquisition cost the
+// lifecycle overhaul targets: "fresh" pays full construction per cell (the
+// pre-PR4 behaviour), "pooled" draws a recycled machine and Reinit-s it in
+// place. allocs/op is the headline number — pooling must cut it by >= 50%.
+func BenchmarkMachineSetup(b *testing.B) {
+	cfg := dcra.BaselineConfig()
+	profiles := []dcra.Profile{
+		dcra.MustProfile("gzip"), dcra.MustProfile("mcf"),
+		dcra.MustProfile("art"), dcra.MustProfile("eon"),
+	}
+	const warm = 200 // touch the machine like a real cell would
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := dcra.NewMachine(cfg, profiles, dcra.NewDCRA(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Run(warm)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := sim.NewMachinePool()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := pool.Get(cfg, profiles, dcra.NewDCRA(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Run(warm)
+			pool.Put(m)
+		}
+	})
 }
 
 // BenchmarkSimulatorSpeed measures raw simulation throughput (cycles/op).

@@ -10,6 +10,8 @@
 //	campaign run -exp fig5 -shards 4 -shard 2 -out shard2.json
 //	campaign merge -store DIR shard0.json shard1.json ...
 //	campaign status -exp fig5 -store DIR
+//	campaign render -exp fig5 -store DIR           # render + CSV artifacts in <store>/csv
+//	campaign gc -store DIR [-dry-run]              # prune cells no sweep enumerates
 //
 // A sharded `run` computes only its partition and writes a shard file
 // instead of rendering. After `merge`, re-running `campaign run -exp fig5
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"dcra/internal/campaign"
 	"dcra/internal/experiments"
@@ -39,18 +42,24 @@ func main() {
 		cmdMerge(os.Args[2:])
 	case "status":
 		cmdStatus(os.Args[2:])
+	case "render":
+		cmdRender(os.Args[2:])
+	case "gc":
+		cmdGC(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status> [flags]
+	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status|render|gc> [flags]
 
   run    -exp KEY [-quick] [-warmup N -measure N] [-store DIR]
          [-shards N -shard I -out FILE] [-require-store]
   merge  -store DIR shard.json...
-  status -exp KEY -store DIR`)
+  status -exp KEY -store DIR
+  render -exp KEY [-csv DIR] [-store DIR] [protocol flags] [-require-store]
+  gc     -store DIR [-dry-run]`)
 	os.Exit(2)
 }
 
@@ -151,6 +160,13 @@ func cmdRun(args []string) {
 		return
 	}
 
+	renderExperiment(spec, s, "", *requireStore)
+}
+
+// renderExperiment renders spec's tables to stdout — plus CSV artifacts
+// when csvDir is set — then prints the cell summary and enforces
+// -require-store. Shared by the unsharded `run` tail and `render`.
+func renderExperiment(spec experiments.Spec, s *experiments.Suite, csvDir string, requireStore bool) {
 	tables, err := spec.Render(s)
 	if err != nil {
 		fatal(err)
@@ -158,9 +174,18 @@ func cmdRun(args []string) {
 	for _, rt := range tables {
 		rt.Table.Render(os.Stdout)
 	}
+	if csvDir != "" {
+		paths, err := experiments.WriteCSVs(csvDir, tables)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range paths {
+			fmt.Printf("campaign: wrote %s\n", p)
+		}
+	}
 	fmt.Printf("campaign: %s: %d cells (simulated %d, store hits %d)\n",
-		spec.Key, len(sweep.Cells), s.Simulated(), s.StoreHits())
-	if *requireStore && s.Simulated() > 0 {
+		spec.Key, len(spec.Sweep().Cells), s.Simulated(), s.StoreHits())
+	if requireStore && s.Simulated() > 0 {
 		fatal(fmt.Errorf("%d cells were simulated but -require-store demands a fully populated store", s.Simulated()))
 	}
 }
@@ -188,6 +213,77 @@ func cmdMerge(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("campaign: merged %d cells from %d shard files into %s\n", n, len(paths), *storeDir)
+}
+
+// cmdRender renders one experiment's tables and additionally writes each as
+// a CSV artifact, by default next to the store (<store>/csv).
+func cmdRender(args []string) {
+	fs := flag.NewFlagSet("campaign render", flag.ExitOnError)
+	var (
+		exp          = fs.String("exp", "", "experiment key (tab1,fig2,... — see EXPERIMENTS.md)")
+		storeDir     = fs.String("store", "", "persistent result store directory")
+		csvDir       = fs.String("csv", "", "CSV artifact directory (default <store>/csv)")
+		requireStore = fs.Bool("require-store", false, "fail if any cell had to be simulated instead of loaded from the store")
+		sflags       = addSuiteFlags(fs)
+	)
+	fs.Parse(args)
+
+	spec, err := experiments.SpecByKey(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	if *csvDir == "" {
+		if *storeDir == "" {
+			fatal(fmt.Errorf("render needs -csv DIR (or -store DIR to default to <store>/csv)"))
+		}
+		*csvDir = filepath.Join(*storeDir, "csv")
+	}
+	s := sflags.suite()
+	if *storeDir != "" {
+		st, err := campaign.Open(*storeDir, s.StoreParams())
+		if err != nil {
+			fatal(err)
+		}
+		s.Store = st
+	}
+	renderExperiment(spec, s, *csvDir, *requireStore)
+}
+
+// cmdGC prunes store cells whose keys no longer appear in any registered
+// sweep — orphans left behind by spec changes.
+func cmdGC(args []string) {
+	fs := flag.NewFlagSet("campaign gc", flag.ExitOnError)
+	var (
+		storeDir = fs.String("store", "", "persistent result store directory")
+		dryRun   = fs.Bool("dry-run", false, "report stale cells without deleting them")
+	)
+	fs.Parse(args)
+	if *storeDir == "" {
+		fatal(fmt.Errorf("gc needs -store"))
+	}
+	st, err := campaign.OpenExisting(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	keep := make(map[string]bool)
+	for _, sp := range experiments.Specs() {
+		for _, c := range sp.Sweep().Cells {
+			keep[c.Key()] = true
+		}
+	}
+	removed, err := st.GC(keep, *dryRun)
+	if err != nil {
+		fatal(err)
+	}
+	verb := "deleted"
+	if *dryRun {
+		verb = "would delete"
+	}
+	for _, key := range removed {
+		fmt.Printf("campaign: %s stale cell %s\n", verb, key)
+	}
+	fmt.Printf("campaign: %s %d stale cells (%d keys live across %d experiments)\n",
+		verb, len(removed), len(keep), len(experiments.Specs()))
 }
 
 func cmdStatus(args []string) {

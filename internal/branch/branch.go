@@ -53,6 +53,34 @@ func New(cfg config.Config, threads int) *Predictor {
 	return p
 }
 
+// Reset restores the predictor to its post-construction state — weakly-taken
+// counters, empty histories, invalid BTB, empty return stacks, zero counters
+// — without reallocating any table. A reset predictor behaves bit-identically
+// to a freshly built one; the machine-reuse lifecycle depends on this.
+func (p *Predictor) Reset() {
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	clear(p.history)
+	clear(p.btb.sets)
+	p.btb.stamp = 0
+	for _, r := range p.ras {
+		r.top = 0
+	}
+	p.Lookups, p.Mispredict = 0, 0
+}
+
+// Shape reports whether the predictor's tables match the geometry cfg and
+// thread count ask for, i.e. whether Reset can stand in for reconstruction.
+func (p *Predictor) Shape(cfg config.Config, threads int) bool {
+	return len(p.pht) == cfg.GshareEntries &&
+		len(p.history) == threads &&
+		len(p.btb.sets) == cfg.BTBEntries &&
+		p.btb.assoc == cfg.BTBAssoc &&
+		len(p.ras) == threads &&
+		(threads == 0 || p.ras[0].size == cfg.RASEntries)
+}
+
 // histBits bounds the global-history contribution to the PHT index. The
 // synthetic branch outcomes are per-site Bernoulli draws with no real
 // cross-branch correlation, so long histories cannot help prediction — they

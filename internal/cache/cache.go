@@ -160,5 +160,28 @@ func (c *Cache) MissRate() float64 {
 	return 100 * float64(c.Misses) / float64(c.Accesses)
 }
 
-// Reset clears statistics but keeps cache contents (used after warmup).
-func (c *Cache) Reset() { c.Accesses, c.Misses = 0, 0 }
+// ResetStats clears statistics but keeps cache contents (used after warmup).
+func (c *Cache) ResetStats() { c.Accesses, c.Misses = 0, 0 }
+
+// Reset restores the cache to its post-construction state without
+// reallocating: every line invalidated, bank ports idle, LRU stamps and
+// statistics zeroed. A reset cache behaves bit-identically to a freshly
+// built one.
+func (c *Cache) Reset() {
+	clear(c.sets)
+	clear(c.bankBusy)
+	c.stamp = 0
+	c.ResetStats()
+}
+
+// Reinit rebinds the cache to cfg, reusing its storage. It reports false —
+// leaving the cache untouched — when cfg's geometry does not match the
+// backing arrays; only latency may differ between the old and new config.
+func (c *Cache) Reinit(cfg config.CacheConfig) bool {
+	if cfg.Geometry() != c.cfg.Geometry() {
+		return false
+	}
+	c.cfg = cfg
+	c.Reset()
+	return true
+}

@@ -79,15 +79,53 @@ func TestInsertBypassesStatsAndBanks(t *testing.T) {
 	}
 }
 
-func TestReset(t *testing.T) {
+func TestCacheResetStats(t *testing.T) {
 	c := smallCache()
 	c.Access(0, 1)
+	c.ResetStats()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatal("ResetStats must clear statistics")
+	}
+	if !c.Probe(0) {
+		t.Fatal("ResetStats must keep contents")
+	}
+}
+
+func TestResetInvalidates(t *testing.T) {
+	c := smallCache()
+	c.Access(0, 1)
+	c.Access(0x4000, 5) // occupy a bank port well into the future
 	c.Reset()
 	if c.Accesses != 0 || c.Misses != 0 {
 		t.Fatal("Reset must clear statistics")
 	}
-	if !c.Probe(0) {
-		t.Fatal("Reset must keep contents")
+	if c.Probe(0) || c.Probe(0x4000) {
+		t.Fatal("Reset must invalidate every line")
+	}
+	// Bank ports must be idle again: a fresh access at cycle 1 sees no delay.
+	if lat, _ := c.Access(0, 1); lat != c.cfg.Latency {
+		t.Fatalf("bank port still busy after Reset: lat=%d", lat)
+	}
+}
+
+func TestCacheReinit(t *testing.T) {
+	c := smallCache()
+	c.Access(0, 1)
+	cfg := c.cfg
+	cfg.Latency = c.cfg.Latency + 3 // latency may change without rebuilding
+	if !c.Reinit(cfg) {
+		t.Fatal("Reinit must accept a same-geometry config")
+	}
+	if c.Probe(0) {
+		t.Fatal("Reinit must invalidate contents")
+	}
+	if lat, _ := c.Access(0, 1); lat != cfg.Latency {
+		t.Fatalf("Reinit did not adopt the new latency: lat=%d want %d", lat, cfg.Latency)
+	}
+	bad := cfg
+	bad.SizeBytes *= 2
+	if c.Reinit(bad) {
+		t.Fatal("Reinit must refuse a geometry change")
 	}
 }
 

@@ -235,9 +235,42 @@ func (h *Hierarchy) PrewarmCode(base uint64, n int) {
 
 // ResetStats clears statistics on all levels (after warmup).
 func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.MemMisses = 0
+	h.TLB.ResetStats()
+}
+
+// Reset restores the whole memory system to its post-construction state
+// without reallocating: every level invalidated, MSHR files drained,
+// statistics zeroed. Callers re-prewarm afterwards, exactly as after
+// NewHierarchy.
+func (h *Hierarchy) Reset() {
 	h.L1I.Reset()
 	h.L1D.Reset()
 	h.L2.Reset()
+	h.TLB.Reset()
+	h.drainMSHRs()
+}
+
+// drainMSHRs empties both MSHR files and the memory-fill counter.
+func (h *Hierarchy) drainMSHRs() {
+	h.l2mshrs = h.l2mshrs[:0]
+	h.l1mshrs = h.l1mshrs[:0]
 	h.MemMisses = 0
-	h.TLB.ResetStats()
+}
+
+// Reinit rebinds the hierarchy to cfg, reusing every level's storage. It
+// reports false when any level's geometry differs from cfg (the hierarchy is
+// then in a partially-reset state and must be rebuilt); latencies, penalties
+// and MSHR bounds may differ freely.
+func (h *Hierarchy) Reinit(cfg config.Config) bool {
+	if !h.L1I.Reinit(cfg.ICache) || !h.L1D.Reinit(cfg.DCache) || !h.L2.Reinit(cfg.L2) ||
+		!h.TLB.Reinit(cfg.TLBEntries, cfg.PageBytes) {
+		return false
+	}
+	h.cfg = cfg
+	h.drainMSHRs()
+	return true
 }

@@ -184,3 +184,43 @@ func TestResetStats(t *testing.T) {
 		t.Fatal("ResetStats left counters behind")
 	}
 }
+
+func TestHierarchyResetAndReinit(t *testing.T) {
+	h := testHierarchy()
+	addr := uint64(9 << 20)
+	h.AccessD(addr, 10) // cold: allocates lines, a TLB entry and an MSHR
+	h.AccessI(addr, 10)
+
+	h.Reset()
+	if h.L1D.Probe(addr) || h.L1I.Probe(addr) || h.L2.Probe(addr) {
+		t.Fatal("Reset must invalidate every level")
+	}
+	if h.L1D.Accesses != 0 || h.MemMisses != 0 {
+		t.Fatal("Reset must clear statistics")
+	}
+	if h.OutstandingMem(0) != 0 {
+		t.Fatal("Reset must drain the MSHR files")
+	}
+	// A post-Reset access behaves exactly like a post-construction one.
+	if res := h.AccessD(addr, 10); !res.L1Miss || !res.L2Miss || !res.TLBMiss {
+		t.Fatalf("post-Reset access not cold: %+v", res)
+	}
+
+	// Reinit adopts latency-only changes and refuses geometry changes.
+	cfg := h.cfg
+	cfg.MemLatency = 123
+	if !h.Reinit(cfg) {
+		t.Fatal("Reinit must accept a same-geometry config")
+	}
+	if h.L1D.Probe(addr) || h.OutstandingMem(0) != 0 {
+		t.Fatal("Reinit must invalidate and drain")
+	}
+	if res := h.AccessD(addr, 10); !res.L2Miss || res.Latency < 123 {
+		t.Fatalf("Reinit did not adopt the new memory latency: %+v", res)
+	}
+	bad := cfg
+	bad.L2.Assoc *= 2
+	if h.Reinit(bad) {
+		t.Fatal("Reinit must refuse a geometry change")
+	}
+}

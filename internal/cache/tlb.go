@@ -90,3 +90,29 @@ func (t *TLB) MissRate() float64 {
 
 // ResetStats clears counters but keeps contents.
 func (t *TLB) ResetStats() { t.Accesses, t.Misses = 0, 0 }
+
+// Reset restores the TLB to its post-construction state without
+// reallocating: all entries invalid, the page index empty, stamps and
+// statistics zeroed.
+func (t *TLB) Reset() {
+	clear(t.entries)
+	clear(t.index)
+	t.valid = 0
+	t.stamp = 0
+	t.ResetStats()
+}
+
+// Reinit rebinds the TLB to a new (entries, page size) pair, reusing its
+// storage. It reports false — leaving the TLB untouched — on a geometry
+// mismatch.
+func (t *TLB) Reinit(n, pageBytes int) bool {
+	bits := uint(0)
+	for l := pageBytes; l > 1; l >>= 1 {
+		bits++
+	}
+	if len(t.entries) != n || t.pageBits != bits {
+		return false
+	}
+	t.Reset()
+	return true
+}

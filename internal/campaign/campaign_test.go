@@ -321,3 +321,64 @@ func TestShardFileRoundTripAndMerge(t *testing.T) {
 		t.Fatal("merge accepted a shard measured under a different protocol")
 	}
 }
+
+func TestStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Params{Warmup: 1, Measure: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := cellFor(t, "DCRA")
+	stale := cellFor(t, "ICOUNT")
+	if err := st.Put(live, fakeResult(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(stale, fakeResult(0.25)); err != nil {
+		t.Fatal(err)
+	}
+	keep := map[string]bool{live.Key(): true}
+
+	// Dry run reports without deleting.
+	removed, err := st.GC(keep, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != stale.Key() {
+		t.Fatalf("dry-run GC = %v, want [%s]", removed, stale.Key())
+	}
+	if !st.Has(stale) {
+		t.Fatal("dry-run GC deleted a cell")
+	}
+
+	removed, err = st.GC(keep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != stale.Key() {
+		t.Fatalf("GC = %v, want [%s]", removed, stale.Key())
+	}
+	if st.Has(stale) {
+		t.Fatal("GC left the stale cell behind")
+	}
+	if !st.Has(live) {
+		t.Fatal("GC deleted a live cell")
+	}
+	// Temp files and the manifest are untouched; a second GC is a no-op.
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatalf("manifest gone after GC: %v", err)
+	}
+	removed, err = st.GC(keep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("second GC removed %v", removed)
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != live.Key() {
+		t.Fatalf("Keys = %v, want [%s]", keys, live.Key())
+	}
+}

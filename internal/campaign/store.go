@@ -7,6 +7,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"dcra/internal/sim"
 	"dcra/internal/singleflight"
@@ -173,6 +175,50 @@ func (st *Store) Count(s Sweep) (present int, missing []Cell) {
 		}
 	}
 	return present, missing
+}
+
+// Keys lists the cell keys currently present in the store, in directory
+// order (unspecified).
+func (st *Store) Keys() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "cells"))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: listing store cells: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	return keys, nil
+}
+
+// GC deletes every stored cell whose key is not in keep, returning the keys
+// it removed (sorted). With dryRun set it only reports what it would delete.
+// Sweeps evolve — a spec change re-keys its cells — and the store otherwise
+// accretes orphans forever; the campaign CLI builds keep from every
+// registered sweep's enumeration.
+func (st *Store) GC(keep map[string]bool, dryRun bool) ([]string, error) {
+	keys, err := st.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, key := range keys {
+		if keep[key] {
+			continue
+		}
+		if !dryRun {
+			if err := os.Remove(st.cellPath(key)); err != nil {
+				return removed, fmt.Errorf("campaign: removing stale cell %s: %w", key, err)
+			}
+		}
+		removed = append(removed, key)
+	}
+	sort.Strings(removed)
+	return removed, nil
 }
 
 // mustJSON marshals v with indentation; the schemas here cannot fail.

@@ -21,6 +21,21 @@ func (c CacheConfig) Sets() int {
 	return c.SizeBytes / (c.Assoc * c.LineBytes)
 }
 
+// Geometry is the allocation-relevant subset of a CacheConfig: two caches
+// with equal geometry have identical backing-array shapes and indexing, so
+// one's storage can be reused for the other (only latency may differ).
+type Geometry struct {
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+	Banks     int
+}
+
+// Geometry returns the cache's allocation geometry.
+func (c CacheConfig) Geometry() Geometry {
+	return Geometry{SizeBytes: c.SizeBytes, Assoc: c.Assoc, LineBytes: c.LineBytes, Banks: c.Banks}
+}
+
 // Validate checks the geometry is realisable.
 func (c CacheConfig) Validate() error {
 	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {

@@ -60,6 +60,16 @@ func newEventQueue() eventQueue {
 	return eventQueue{buckets: buckets}
 }
 
+// reset drains the calendar back to its post-construction state, keeping
+// every bucket's capacity.
+func (q *eventQueue) reset() {
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	q.base = 0
+	q.overflow = q.overflow[:0]
+}
+
 // push schedules e; e.at must be >= the current drain cycle.
 func (q *eventQueue) push(e event) {
 	if e.at-q.base < eventRingSize {

@@ -167,6 +167,21 @@ func (q *issueQueue) deleteAt(i int) {
 	}
 }
 
+// reset restores the queue to its post-construction state — every entry
+// free, the free list in original pop order, the ready heap empty, stamps
+// rewound — without reallocating. A reset queue behaves bit-identically to a
+// freshly built one.
+func (q *issueQueue) reset() {
+	clear(q.entries)
+	q.freeList = q.freeList[:len(q.entries)]
+	for i := range q.freeList {
+		q.freeList[i] = int32(len(q.entries) - 1 - i)
+	}
+	q.ready = q.ready[:0]
+	q.count = 0
+	q.stampGen = 0
+}
+
 // squashThread frees all entries belonging to thread t with dseq > after.
 // Ready-heap nodes of squashed entries go stale and are dropped lazily.
 // Returns per-queue count removed so the caller can fix usage counters.

@@ -68,6 +68,14 @@ func (f *frontEnd) pop() {
 
 func (f *frontEnd) clear() { f.head, f.count = 0, 0 }
 
+// reset restores the pipe to its post-construction state for the given
+// modelled capacity; the ring is reused (the caller guarantees it is large
+// enough via Shape matching).
+func (f *frontEnd) reset(capacity int) {
+	f.clear()
+	f.limit = capacity
+}
+
 // threadState groups the per-thread fetch bookkeeping.
 type threadState struct {
 	stream   *trace.Stream
@@ -125,10 +133,56 @@ type Machine struct {
 	commitRR int
 	fetchRR  int
 
-	st        *stats.Stats
-	rankBuf   []int
-	totalRes  [NumResources]int
-	issuedBuf [3]int // per-queue FU usage within a cycle
+	st       *stats.Stats
+	rankBuf  []int
+	totalRes [NumResources]int
+}
+
+// Shape captures the allocation geometry of a Machine: two machines with
+// equal shapes have identical backing-array sizes and indexing structure for
+// every component, so one's storage can be rebound to the other's
+// configuration (latencies, widths and policy may differ freely). Shape is
+// comparable and keys machine pools.
+type Shape struct {
+	Threads        int
+	FrontEndBuffer int
+	ROBSize        int
+	IntQueue       int
+	FPQueue        int
+	LSQueue        int
+	RenameRegs     int
+
+	ICache, DCache, L2 config.Geometry
+	TLBEntries         int
+	PageBytes          int
+
+	GshareEntries int
+	BTBEntries    int
+	BTBAssoc      int
+	RASEntries    int
+}
+
+// ShapeOf returns the allocation shape of a machine built from cfg with the
+// given thread count.
+func ShapeOf(cfg config.Config, threads int) Shape {
+	return Shape{
+		Threads:        threads,
+		FrontEndBuffer: cfg.FrontEndBuffer,
+		ROBSize:        cfg.ROBSize,
+		IntQueue:       cfg.IntQueue,
+		FPQueue:        cfg.FPQueue,
+		LSQueue:        cfg.LSQueue,
+		RenameRegs:     cfg.RenameRegs(threads),
+		ICache:         cfg.ICache.Geometry(),
+		DCache:         cfg.DCache.Geometry(),
+		L2:             cfg.L2.Geometry(),
+		TLBEntries:     cfg.TLBEntries,
+		PageBytes:      cfg.PageBytes,
+		GshareEntries:  cfg.GshareEntries,
+		BTBEntries:     cfg.BTBEntries,
+		BTBAssoc:       cfg.BTBAssoc,
+		RASEntries:     cfg.RASEntries,
+	}
 }
 
 // New builds a Machine running one Stream per profile under the given
@@ -170,15 +224,7 @@ func New(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) (
 		rankBuf: make([]int, 0, nt),
 		events:  newEventQueue(),
 	}
-	if p, ok := pol.(Partitioner); ok {
-		m.part = p
-	}
-	if o, ok := pol.(FetchObserver); ok {
-		m.fetchObs = o
-	}
-	if o, ok := pol.(LoadObserver); ok {
-		m.loadObs = o
-	}
+	m.bindPolicy(pol)
 
 	for t := 0; t < nt; t++ {
 		m.threads[t].stream = trace.NewStream(profiles[t], t, seed)
@@ -189,14 +235,7 @@ func New(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) (
 			m.prod[t][i].idx = ^uint64(0)
 		}
 	}
-	// Pre-warm the resident working sets: the measurement window models a
-	// slice of a long-running program (see cache.Hierarchy.PrewarmData).
-	for t := 0; t < nt; t++ {
-		fp := m.threads[t].stream.Footprint()
-		m.hier.PrewarmCode(fp.CodeBase, fp.CodeBytes)
-		m.hier.PrewarmData(fp.HotBase, fp.HotBytes, true)
-		m.hier.PrewarmData(fp.WarmBase, fp.WarmBytes, false)
-	}
+	m.prewarm()
 
 	m.iqs[isa.QInt] = newIssueQueue(cfg.IntQueue)
 	m.iqs[isa.QFP] = newIssueQueue(cfg.FPQueue)
@@ -204,14 +243,129 @@ func New(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) (
 	m.regs[0] = newRegFile(rename)
 	m.regs[1] = newRegFile(rename)
 
-	m.totalRes[RIntIQ] = cfg.IntQueue
-	m.totalRes[RFPIQ] = cfg.FPQueue
-	m.totalRes[RLSIQ] = cfg.LSQueue
-	m.totalRes[RIntRegs] = rename
-	m.totalRes[RFPRegs] = rename
-	m.totalRes[RROB] = cfg.ROBSize
+	m.setTotals(rename)
 
 	return m, nil
+}
+
+// bindPolicy installs pol and rebinds the optional observer interfaces.
+func (m *Machine) bindPolicy(pol Policy) {
+	m.pol = pol
+	m.part, m.fetchObs, m.loadObs = nil, nil, nil
+	if p, ok := pol.(Partitioner); ok {
+		m.part = p
+	}
+	if o, ok := pol.(FetchObserver); ok {
+		m.fetchObs = o
+	}
+	if o, ok := pol.(LoadObserver); ok {
+		m.loadObs = o
+	}
+}
+
+// prewarm inserts the resident working sets: the measurement window models a
+// slice of a long-running program (see cache.Hierarchy.PrewarmData).
+func (m *Machine) prewarm() {
+	for t := 0; t < m.nt; t++ {
+		fp := m.threads[t].stream.Footprint()
+		m.hier.PrewarmCode(fp.CodeBase, fp.CodeBytes)
+		m.hier.PrewarmData(fp.HotBase, fp.HotBytes, true)
+		m.hier.PrewarmData(fp.WarmBase, fp.WarmBytes, false)
+	}
+}
+
+// setTotals records the shared-resource totals policies partition against.
+func (m *Machine) setTotals(rename int) {
+	m.totalRes[RIntIQ] = m.cfg.IntQueue
+	m.totalRes[RFPIQ] = m.cfg.FPQueue
+	m.totalRes[RLSIQ] = m.cfg.LSQueue
+	m.totalRes[RIntRegs] = rename
+	m.totalRes[RFPRegs] = rename
+	m.totalRes[RROB] = m.cfg.ROBSize
+}
+
+// Shape returns the machine's allocation shape (the pool key).
+func (m *Machine) Shape() Shape { return ShapeOf(m.cfg, m.nt) }
+
+// Reinit rebinds the machine to a new (cfg, profiles, pol, seed) cell,
+// reusing every backing allocation when the new cell's Shape matches the
+// machine's and falling back to fresh construction (replacing *m wholesale)
+// otherwise. After Reinit the machine is observationally identical to
+// New(cfg, profiles, pol, seed): the reuse-bit-identity tests assert equal
+// statistics cycle for cycle.
+//
+// The machine's previous Stats are abandoned, never mutated, so results
+// extracted from an earlier run remain valid after the machine is reused.
+func (m *Machine) Reinit(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	nt := len(profiles)
+	if nt == 0 {
+		return fmt.Errorf("cpu: no threads")
+	}
+	rename := cfg.RenameRegs(nt)
+	if rename <= 0 {
+		return fmt.Errorf("cpu: %d physical registers cannot support %d threads",
+			cfg.PhysRegs, nt)
+	}
+	if ShapeOf(cfg, nt) != m.Shape() {
+		nm, err := New(cfg, profiles, pol, seed)
+		if err != nil {
+			return err
+		}
+		*m = *nm
+		return nil
+	}
+
+	// In-place reuse. This mirrors New's initialisation order exactly:
+	// hierarchy and predictor first, per-thread state, prewarm, then the
+	// shared back-end pools and counters.
+	m.cfg = cfg
+	m.bindPolicy(pol)
+	if !m.hier.Reinit(cfg) {
+		// Shape covers every geometry input, so this cannot fire; rebuilding
+		// beats simulating on a half-reset hierarchy if it ever does.
+		m.hier = cache.NewHierarchy(cfg)
+	}
+	if m.pred.Shape(cfg, nt) {
+		m.pred.Reset()
+	} else {
+		m.pred = branch.New(cfg, nt)
+	}
+
+	for t := 0; t < nt; t++ {
+		m.threads[t] = threadState{stream: m.threads[t].stream}
+		m.threads[t].stream.Rebind(profiles[t], t, seed)
+		m.fe[t].reset(cfg.FrontEndBuffer)
+		m.rob[t].reset()
+		prod := m.prod[t]
+		for i := range prod {
+			prod[i].idx = ^uint64(0)
+		}
+		m.iqCount[t] = [3]int{}
+		m.regCount[t] = [2]int{}
+		m.robCount[t] = 0
+		m.pendingL1D[t] = 0
+		m.pendingL2[t] = 0
+		m.allocFlags[t] = [NumResources]bool{}
+	}
+	m.prewarm()
+
+	for _, q := range m.iqs {
+		q.reset()
+	}
+	for _, rf := range m.regs {
+		rf.reset()
+	}
+	m.robUsed = 0
+	m.events.reset()
+	m.cycle, m.ageStamp = 0, 0
+	m.commitRR, m.fetchRR = 0, 0
+	m.st = stats.New(nt)
+	m.rankBuf = m.rankBuf[:0]
+	m.setTotals(rename)
+	return nil
 }
 
 // ---- accessors used by policies and the experiment harness ----

@@ -81,3 +81,17 @@ func (f *regFile) addWaiter(reg int32, w waiterRef) {
 
 // isReady reports whether reg has produced its value.
 func (f *regFile) isReady(reg int32) bool { return f.ready[reg] }
+
+// reset restores the file to its post-construction state — all registers
+// free in the original pop order, scoreboard cleared, waiter chains
+// truncated (their backing arrays stay with the register for reuse).
+func (f *regFile) reset() {
+	f.free = f.free[:len(f.ready)]
+	for i := range f.free {
+		f.free[i] = int32(len(f.free) - 1 - i)
+	}
+	clear(f.ready)
+	for i := range f.waiters {
+		f.waiters[i] = f.waiters[i][:0]
+	}
+}

@@ -81,6 +81,11 @@ func (r *threadROB) head() *robEntry {
 // popHead retires the oldest entry.
 func (r *threadROB) popHead() { r.headSeq++ }
 
+// reset empties the window and rewinds the sequence counters to zero. Ring
+// contents need no clearing: push fully overwrites an entry before any read,
+// and valid() only consults the live [headSeq, tailSeq) range.
+func (r *threadROB) reset() { r.headSeq, r.tailSeq = 0, 0 }
+
 // rollbackTo discards entries with dseq > after (squash). The caller walks
 // the discarded range first to release their resources.
 func (r *threadROB) rollbackTo(after uint64) {

@@ -277,6 +277,7 @@ func (s *Suite) computeBenchCell(c campaign.Cell, name string) (sim.Result, erro
 		return sim.Result{}, fmt.Errorf("experiments: bench cell %s: %w", c, err)
 	}
 	st := m.Stats()
+	s.Runner.Recycle(m) // st stays valid: reuse abandons, never clears, old stats
 	ipc := st.Threads[0].IPC(st.Cycles)
 	return sim.Result{
 		Workload:   workload.Workload{Threads: 1, Names: []string{name}},

@@ -237,5 +237,14 @@ func (s *Source) Pick(weights []float64) int {
 // thread or each model component its own stream so that consuming randomness
 // in one never perturbs another.
 func (s *Source) Split() *Source {
-	return New(s.Uint64() ^ 0xa0761d6478bd642f)
+	dst := new(Source)
+	s.SplitInto(dst)
+	return dst
+}
+
+// SplitInto reseeds dst exactly as Split would seed a fresh Source, without
+// allocating. Reset paths use it to rebind an existing generator to a new
+// stream bit-identically to construction.
+func (s *Source) SplitInto(dst *Source) {
+	dst.Reseed(s.Uint64() ^ 0xa0761d6478bd642f)
 }

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dcra/internal/config"
 	"dcra/internal/cpu"
@@ -45,26 +46,67 @@ type baselineKey struct {
 // fixed seed, and caches single-thread baselines per configuration. The
 // baseline cache is safe for concurrent use: parallel experiment workers
 // needing the same baseline compute it exactly once (single-flight) and all
-// observe the identical value. The window/seed fields must not be mutated
-// while runs are in flight.
+// observe the identical value.
+//
+// The window/seed fields must not be mutated while runs are in flight: every
+// run snapshots them at start and re-checks at completion, panicking on a
+// mid-flight change instead of silently mixing results measured under
+// different protocols.
+//
+// Pool, when set (NewRunner sets it), recycles machine allocations across
+// runs: RunMachine draws from the pool and RunWorkload/SingleIPC return
+// machines to it once their results are extracted. Reuse is observationally
+// invisible — a pooled machine is Reinit-ed to bit-identical
+// post-construction state (TestPooledRunsBitIdentical).
 type Runner struct {
 	Warmup  uint64 // cycles simulated before statistics reset
 	Measure uint64 // measured cycles
 	Seed    uint64
 
+	Pool *MachinePool // optional machine reuse; nil builds fresh machines
+
 	baseline singleflight.Memo[baselineKey, float64]
+	inFlight atomic.Int64
 }
 
 // NewRunner returns a Runner with the default windows used throughout the
-// experiments (50k warmup + 300k measured cycles).
+// experiments (50k warmup + 300k measured cycles) and a machine pool.
 func NewRunner() *Runner {
-	return &Runner{Warmup: 50_000, Measure: 300_000, Seed: 0x5eed_dc2a}
+	return &Runner{Warmup: 50_000, Measure: 300_000, Seed: 0x5eed_dc2a, Pool: NewMachinePool()}
 }
 
-// RunMachine builds a machine for (cfg, profiles, policy) and runs the
-// warmup+measure protocol, returning the machine for inspection.
+// protocol is the Runner field snapshot the in-flight guard compares.
+type protocol struct{ warmup, measure, seed uint64 }
+
+// beginRun snapshots the measurement protocol for one run.
+func (r *Runner) beginRun() protocol {
+	r.inFlight.Add(1)
+	return protocol{r.Warmup, r.Measure, r.Seed}
+}
+
+// endRun verifies the protocol did not change while the run was in flight.
+// The comparison happens before the in-flight count drops: a mutator
+// legally waiting for InFlight() == 0 must not race the read of the fields.
+func (r *Runner) endRun(snap protocol) {
+	mutated := (protocol{r.Warmup, r.Measure, r.Seed}) != snap
+	r.inFlight.Add(-1)
+	if mutated {
+		panic("sim: Runner windows/seed mutated while a run was in flight")
+	}
+}
+
+// InFlight returns the number of runs currently executing; mutating the
+// window/seed fields is only legal when it is zero.
+func (r *Runner) InFlight() int64 { return r.inFlight.Load() }
+
+// RunMachine builds (or draws from the pool) a machine for (cfg, profiles,
+// policy) and runs the warmup+measure protocol, returning the machine for
+// inspection. Callers that extract what they need should hand the machine
+// back via Recycle; keeping it (or dropping it) is also safe.
 func (r *Runner) RunMachine(cfg config.Config, profiles []trace.Profile, pol cpu.Policy) (*cpu.Machine, error) {
-	m, err := cpu.New(cfg, profiles, pol, r.Seed)
+	snap := r.beginRun()
+	defer r.endRun(snap)
+	m, err := r.Pool.Get(cfg, profiles, pol, r.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +115,11 @@ func (r *Runner) RunMachine(cfg config.Config, profiles []trace.Profile, pol cpu
 	m.Run(r.Measure)
 	return m, nil
 }
+
+// Recycle returns a machine obtained from RunMachine to the runner's pool.
+// Results already extracted (Stats, IPCs) stay valid; the machine itself
+// must not be touched afterwards.
+func (r *Runner) Recycle(m *cpu.Machine) { r.Pool.Put(m) }
 
 // RunWorkload executes one Table 4 workload under the policy from mk and
 // computes all metrics (Hmean uses cached single-thread baselines on the
@@ -84,6 +131,7 @@ func (r *Runner) RunWorkload(cfg config.Config, w workload.Workload, mk PolicyFa
 		return Result{}, fmt.Errorf("sim: workload %s under %s: %w", w.ID(), pol.Name(), err)
 	}
 	st := m.Stats()
+	r.Recycle(m) // st stays valid: reuse abandons, never clears, old stats
 	res := Result{Workload: w, Policy: pol.Name(), Stats: st}
 	res.IPCs = make([]float64, len(w.Names))
 	single := make([]float64, len(w.Names))
@@ -114,7 +162,9 @@ func (r *Runner) SingleIPC(cfg config.Config, name string) (float64, error) {
 		if err != nil {
 			return 0, fmt.Errorf("sim: baseline %s: %w", name, err)
 		}
-		return m.Stats().Threads[0].IPC(m.Stats().Cycles), nil
+		ipc := m.Stats().Threads[0].IPC(m.Stats().Cycles)
+		r.Recycle(m)
+		return ipc, nil
 	})
 }
 

@@ -63,23 +63,43 @@ const maxCallDepth = 64
 // NewStream builds the canonical stream for profile p on hardware context
 // threadID, seeded deterministically from seed.
 func NewStream(p Profile, threadID int, seed uint64) *Stream {
+	s := &Stream{rg: new(rng.Source), wrg: new(rng.Source)}
+	s.init(p, threadID, seed)
+	return s
+}
+
+// Rebind resets the stream to the exact post-NewStream(p, threadID, seed)
+// state, reusing the retained-window and call-stack backing arrays. A rebound
+// stream produces a bit-identical uop sequence to a freshly constructed one;
+// the machine-reuse lifecycle depends on this.
+func (s *Stream) Rebind(p Profile, threadID int, seed uint64) {
+	s.init(p, threadID, seed)
+}
+
+// init sets every field from (p, threadID, seed). The RNG derivation order —
+// rg, wrg, siteSeed, then the initial phase draw — is shared with the
+// original constructor and must not change: it defines the canonical streams
+// of every recorded experiment.
+func (s *Stream) init(p Profile, threadID int, seed uint64) {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
-	base := rng.New(seed ^ (uint64(threadID)+1)*0x9e3779b97f4a7c15)
-	s := &Stream{
-		prof:     p,
-		rg:       base.Split(),
-		wrg:      base.Split(),
-		siteSeed: base.Uint64(),
-		codeBase: (uint64(threadID) + 1) << 40,
-	}
+	var base rng.Source
+	base.Reseed(seed ^ (uint64(threadID)+1)*0x9e3779b97f4a7c15)
+	s.prof = p
+	base.SplitInto(s.rg)
+	base.SplitInto(s.wrg)
+	s.siteSeed = base.Uint64()
+	s.buf = s.buf[:0]
+	s.base, s.next = 0, 0
+	s.callStack = s.callStack[:0]
+	s.sinceLoad = 0
 	// Stagger the layout per thread by odd line counts: power-of-two bases
 	// would make every thread's regions congruent modulo the cache-set
 	// space, so all threads would fight over the same sets (the real world
 	// equivalent is the OS's random page colouring).
 	stagger := uint64(threadID) * 73 * 64
-	s.codeBase += stagger
+	s.codeBase = (uint64(threadID)+1)<<40 + stagger
 	s.pc = s.codeBase
 	s.regBase[regionHot] = s.codeBase + (1 << 28) + 31*64
 	s.regBase[regionWarm] = s.codeBase + (2 << 28) + 97*64
@@ -94,7 +114,6 @@ func NewStream(p Profile, threadID int, seed uint64) *Stream {
 	s.slow = base.Bool(p.SlowFrac)
 	s.depDist = rng.NewGeomDist(p.MeanDep)
 	s.phaseDist = rng.NewGeomDist(p.PhaseLen)
-	return s
 }
 
 // Profile returns the profile the stream was built from.
