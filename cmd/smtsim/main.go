@@ -1,14 +1,19 @@
-// Command smtsim runs one multiprogrammed workload on the simulated SMT
-// processor and prints the run statistics.
+// Command smtsim runs the simulated SMT processor: either one fixed
+// multiprogrammed workload for a fixed window (the default, closed-system
+// mode) or an open stream of arriving jobs served by a scheduler (`smtsim
+// serve`; see SCHEDULER.md). Both modes share the -json output schema.
 //
 // Usage:
 //
 //	smtsim -bench mcf,gzip -policy DCRA -warmup 50000 -cycles 300000
 //	smtsim -workload MEM2.1 -policy FLUSH++ -mem-latency 500
+//	smtsim -bench gzip -json
+//	smtsim serve -arrivals open -gap 3000 -jobs 16 -picker SYMB -policy DCRA
 //	smtsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,10 +21,15 @@ import (
 	"strings"
 
 	"dcra"
+	"dcra/internal/sched"
 	"dcra/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		benchList  = flag.String("bench", "", "comma-separated benchmark names (see -list)")
 		wlName     = flag.String("workload", "", "paper Table 4 workload, e.g. MEM2.1 (kind+threads.group)")
@@ -30,6 +40,7 @@ func main() {
 		memLatency = flag.Int("mem-latency", 0, "override main-memory latency (pairs L2 with 10/20/25)")
 		physRegs   = flag.Int("regs", 0, "override physical register file size per class")
 		list       = flag.Bool("list", false, "list benchmarks and workloads, then exit")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	)
 	flag.Parse()
 
@@ -46,14 +57,7 @@ func main() {
 		return
 	}
 
-	cfg := dcra.BaselineConfig()
-	if *memLatency > 0 {
-		l2 := map[int]int{100: 10, 300: 20, 500: 25}[*memLatency]
-		if l2 == 0 {
-			l2 = cfg.L2.Latency
-		}
-		cfg = cfg.WithMemLatency(*memLatency, l2)
-	}
+	cfg := baselineWithMemLatency(*memLatency)
 	if *physRegs > 0 {
 		cfg = cfg.WithPhysRegs(*physRegs)
 	}
@@ -80,11 +84,42 @@ func main() {
 	m.Run(*cycles)
 
 	st := m.Stats()
+	if *jsonOut {
+		emitJSON(sched.StaticRunStats(pol.Name(), names, st))
+		return
+	}
 	fmt.Printf("policy=%s threads=%v warmup=%d measured=%d\n", pol.Name(), names, *warmup, *cycles)
 	fmt.Print(st)
 	h := m.Hierarchy()
 	fmt.Printf("caches: L1I %.2f%% | L1D %.2f%% | L2 %.2f%% miss; %d memory fills; TLB %.2f%% miss\n",
 		h.L1I.MissRate(), h.L1D.MissRate(), h.L2.MissRate(), h.MemMisses, h.TLB.MissRate())
+}
+
+// baselineWithMemLatency returns the baseline configuration, optionally
+// re-latencied: a -mem-latency override pairs the L2 latency per the paper's
+// Section 5.3 points (100/10, 300/20, 500/25), keeping the baseline L2
+// latency for other values. Shared by the static and serve modes so both
+// build the same machine for the same flag.
+func baselineWithMemLatency(memLatency int) dcra.Config {
+	cfg := dcra.BaselineConfig()
+	if memLatency <= 0 {
+		return cfg
+	}
+	l2 := map[int]int{100: 10, 300: 20, 500: 25}[memLatency]
+	if l2 == 0 {
+		l2 = cfg.L2.Latency
+	}
+	return cfg.WithMemLatency(memLatency, l2)
+}
+
+// emitJSON writes the shared RunStats schema to stdout.
+func emitJSON(rs sched.RunStats) {
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtsim:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
 }
 
 // resolveThreads turns either -bench or -workload into profiles.

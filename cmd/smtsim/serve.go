@@ -1,0 +1,84 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcra"
+	"dcra/internal/sched"
+)
+
+// serveMain runs the open-system mode: a seeded stream of jobs arrives, a
+// co-schedule picker places them onto free hardware contexts, and the run
+// reports throughput, turnaround percentiles and fairness (see SCHEDULER.md).
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("smtsim serve", flag.ExitOnError)
+	var (
+		contexts  = fs.Int("contexts", 4, "hardware contexts serving the job stream")
+		arrivals  = fs.String("arrivals", "open", "arrival process: batch, open or burst")
+		gap       = fs.Uint64("gap", 3_000, "mean interarrival gap in cycles (open/burst)")
+		burst     = fs.Int("burst", 4, "jobs per burst (burst arrivals)")
+		jobs      = fs.Int("jobs", 16, "number of jobs offered")
+		budget    = fs.Uint64("budget", 24_000, "mean committed-uop budget per job (drawn from [b/2, 3b/2])")
+		benchPool = fs.String("benches", "gzip,mcf,eon,art,gcc,swim,bzip2,equake",
+			"comma-separated bench pool jobs draw from")
+		pickerName = fs.String("picker", "FCFS", "co-schedule policy: "+strings.Join(sched.PickerNames(), ", "))
+		polName    = fs.String("policy", "DCRA", "allocation/fetch policy: "+strings.Join(dcra.PolicyNames(), ", "))
+		seed       = fs.Uint64("seed", 0x5eeddc2a, "trial seed (arrivals, bench picks, streams)")
+		maxCycles  = fs.Uint64("max-cycles", 5_000_000, "cycle horizon; unfinished jobs count as incomplete")
+		memLatency = fs.Int("mem-latency", 0, "override main-memory latency (pairs L2 with 10/20/25)")
+		showLog    = fs.Bool("log", false, "print the job event log")
+		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+	)
+	fs.Parse(args)
+
+	cfg := baselineWithMemLatency(*memLatency)
+	picker, err := sched.PickerByName(*pickerName)
+	if err != nil {
+		fatal(err)
+	}
+	var benches []string
+	for _, n := range strings.Split(*benchPool, ",") {
+		benches = append(benches, strings.TrimSpace(n))
+	}
+
+	trial, err := sched.Run(sched.Config{
+		Machine:  cfg,
+		Contexts: *contexts,
+		Alloc: func() dcra.Policy {
+			pol, err := dcra.NewPolicy(dcra.PolicyName(*polName), cfg)
+			if err != nil {
+				fatal(err)
+			}
+			return pol
+		},
+		Picker:    picker,
+		Arrivals:  sched.Arrivals{Kind: sched.ArrivalKind(*arrivals), Jobs: *jobs, Gap: *gap, Burst: *burst},
+		Benches:   benches,
+		Budget:    *budget,
+		Seed:      *seed,
+		MaxCycles: *maxCycles,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		emitJSON(trial.RunStats())
+		return
+	}
+	if *showLog {
+		fmt.Print(trial.EventLogText())
+	}
+	s := trial.Summary()
+	fmt.Println(trial)
+	fmt.Printf("turnaround cycles: p50 %.0f | p99 %.0f | mean %.0f; uops/cycle %.3f; event log sha %s\n",
+		s.P50Turnaround, s.P99Turnaround, s.MeanTurnaround, s.UopsPerCycle, s.EventLogSHA)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smtsim:", err)
+	os.Exit(1)
+}

@@ -12,7 +12,12 @@
 //   - the DCRA resource allocation policy plus every fetch policy the paper
 //     compares against (ICOUNT, STALL, FLUSH, FLUSH++, DG, PDG, SRA);
 //   - an experiment harness regenerating every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation;
+//   - an open-system mode (internal/sched, `smtsim serve`, the "sched"
+//     campaign experiment) in which the core serves a seeded stream of
+//     arriving jobs — co-scheduled onto hardware contexts via
+//     Machine.RebindThread — and the metrics become job throughput,
+//     turnaround percentiles and fairness under load; see SCHEDULER.md.
 //
 // # Quick start
 //

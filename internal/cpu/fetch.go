@@ -21,6 +21,9 @@ func (m *Machine) fetch() {
 			break
 		}
 		ts := &m.threads[t]
+		if ts.parked {
+			continue
+		}
 		if ts.icacheReadyAt > m.cycle || m.fe[t].full() {
 			continue
 		}

@@ -86,6 +86,7 @@ type threadState struct {
 
 	icacheReadyAt uint64
 	gen           uint32 // squash generation counter
+	parked        bool   // idle context: fetch skips it entirely
 }
 
 // Machine is one simulated SMT processor running a fixed set of threads.
@@ -133,9 +134,10 @@ type Machine struct {
 	commitRR int
 	fetchRR  int
 
-	st       *stats.Stats
-	rankBuf  []int
-	totalRes [NumResources]int
+	st        *stats.Stats
+	rankBuf   []int
+	totalRes  [NumResources]int
+	commitObs CommitObserver // optional per-commit hook, nil almost always
 }
 
 // Shape captures the allocation geometry of a Machine: two machines with
@@ -364,6 +366,7 @@ func (m *Machine) Reinit(cfg config.Config, profiles []trace.Profile, pol Policy
 	m.commitRR, m.fetchRR = 0, 0
 	m.st = stats.New(nt)
 	m.rankBuf = m.rankBuf[:0]
+	m.commitObs = nil
 	m.setTotals(rename)
 	return nil
 }

@@ -140,6 +140,10 @@ func (m *Machine) commitEntry(t int, e *robEntry) {
 	}
 	m.threads[t].stream.Release(u.Index + 1)
 
+	if m.commitObs != nil {
+		m.commitObs(t, u)
+	}
+
 	ts := &m.st.Threads[t]
 	ts.Committed++
 	switch u.Class {

@@ -1,0 +1,146 @@
+package cpu
+
+import (
+	"testing"
+
+	"dcra/internal/isa"
+	"dcra/internal/trace"
+)
+
+// commitRec is the observable identity of one committed uop.
+type commitRec struct {
+	idx   uint64
+	pc    uint64
+	class isa.OpClass
+	addr  uint64
+	taken bool
+}
+
+// recordCommits installs an observer capturing thread `watch`'s committed
+// stream.
+func recordCommits(m *Machine, watch int) *[]commitRec {
+	var recs []commitRec
+	m.SetCommitObserver(func(t int, u *isa.Uop) {
+		if t == watch {
+			recs = append(recs, commitRec{u.Index, u.PC, u.Class, u.Addr, u.Taken})
+		}
+	})
+	return &recs
+}
+
+// TestRebindThreadLeavesOthersIntact is the satellite bit-identity proof:
+// parking and rebinding context 1 repeatedly must leave context 0's
+// committed stream identical (uop for uop) to a run that never rebinds.
+// Timing may shift through the shared caches and queues — content may not.
+func TestRebindThreadLeavesOthersIntact(t *testing.T) {
+	ref := newTestMachine(t, "gzip", "mcf")
+	refRecs := recordCommits(ref, 0)
+	ref.Run(40_000)
+
+	m := newTestMachine(t, "gzip", "mcf")
+	recs := recordCommits(m, 0)
+	m.Run(10_000)
+	if err := m.RebindThread(1, trace.MustProfile("art"), 7); err != nil {
+		t.Fatalf("RebindThread: %v", err)
+	}
+	checkConservation(t, m, "after rebind to art")
+	m.Run(8_000)
+	m.ParkThread(1)
+	checkConservation(t, m, "after park")
+	m.Run(6_000)
+	if err := m.RebindThread(1, trace.MustProfile("swim"), 99); err != nil {
+		t.Fatalf("RebindThread: %v", err)
+	}
+	checkConservation(t, m, "after rebind to swim")
+	m.Run(16_000)
+
+	n := min(len(*refRecs), len(*recs))
+	if n < 1_000 {
+		t.Fatalf("too few committed uops to compare: ref %d, rebind %d", len(*refRecs), len(*recs))
+	}
+	for i := 0; i < n; i++ {
+		if (*refRecs)[i] != (*recs)[i] {
+			t.Fatalf("thread 0 committed stream diverged at uop %d: ref %+v, rebind-run %+v",
+				i, (*refRecs)[i], (*recs)[i])
+		}
+	}
+	if m.Stats().Threads[0].Committed == 0 {
+		t.Fatal("thread 0 committed nothing")
+	}
+}
+
+// TestRebindThreadMatchesFreshStream: after a rebind, the context's
+// committed stream must be exactly the canonical stream of a fresh
+// NewStream(profile, t, seed) — index 0 upward, same PCs, classes,
+// addresses and branch outcomes.
+func TestRebindThreadMatchesFreshStream(t *testing.T) {
+	const seed = 1234
+	m := newTestMachine(t, "gzip", "mcf")
+	m.Run(12_000)
+
+	recs := recordCommits(m, 1)
+	if err := m.RebindThread(1, trace.MustProfile("eon"), seed); err != nil {
+		t.Fatalf("RebindThread: %v", err)
+	}
+	m.Run(20_000)
+
+	if len(*recs) < 1_000 {
+		t.Fatalf("rebound thread committed only %d uops", len(*recs))
+	}
+	want := trace.NewStream(trace.MustProfile("eon"), 1, seed)
+	for i, r := range *recs {
+		if r.idx != uint64(i) {
+			t.Fatalf("committed index %d at position %d: rebound stream did not restart at 0", r.idx, i)
+		}
+		u := want.At(uint64(i))
+		if r.pc != u.PC || r.class != u.Class || r.addr != u.Addr || r.taken != u.Taken {
+			t.Fatalf("committed uop %d differs from fresh stream: got %+v, want {%d %d %v %d %t}",
+				i, r, u.Index, u.PC, u.Class, u.Addr, u.Taken)
+		}
+		want.Release(uint64(i))
+	}
+}
+
+// TestParkThreadGoesQuiet: a parked context holds nothing, fetches nothing
+// and commits nothing, while the other context keeps running.
+func TestParkThreadGoesQuiet(t *testing.T) {
+	m := newTestMachine(t, "gzip", "mcf")
+	m.Run(10_000)
+	m.ParkThread(1)
+	checkConservation(t, m, "after park")
+	if !m.Parked(1) || m.Parked(0) {
+		t.Fatalf("park flags wrong: %v %v", m.Parked(0), m.Parked(1))
+	}
+	if n := m.ICount(1); n != 0 {
+		t.Fatalf("parked thread still holds %d pre-issue uops", n)
+	}
+	if n := m.Usage(1, RROB); n != 0 {
+		t.Fatalf("parked thread still holds %d ROB entries", n)
+	}
+
+	before0 := m.Stats().Threads[0].Committed
+	before1 := m.Stats().Threads[1].Committed
+	fetched1 := m.Stats().Threads[1].Fetched
+	m.Run(10_000)
+	if got := m.Stats().Threads[1].Committed; got != before1 {
+		t.Fatalf("parked thread committed %d uops", got-before1)
+	}
+	if got := m.Stats().Threads[1].Fetched; got != fetched1 {
+		t.Fatalf("parked thread fetched %d uops", got-fetched1)
+	}
+	if got := m.Stats().Threads[0].Committed; got == before0 {
+		t.Fatal("running thread made no progress alongside a parked one")
+	}
+	checkConservation(t, m, "after running parked")
+}
+
+// TestRebindThreadRejectsBadArgs guards the error paths.
+func TestRebindThreadRejectsBadArgs(t *testing.T) {
+	m := newTestMachine(t, "gzip")
+	if err := m.RebindThread(1, trace.MustProfile("mcf"), 1); err == nil {
+		t.Fatal("rebind of out-of-range context succeeded")
+	}
+	if err := m.RebindThread(0, trace.Profile{}, 1); err == nil {
+		t.Fatal("rebind to an invalid profile succeeded")
+	}
+}

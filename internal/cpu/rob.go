@@ -81,6 +81,11 @@ func (r *threadROB) head() *robEntry {
 // popHead retires the oldest entry.
 func (r *threadROB) popHead() { r.headSeq++ }
 
+// drain empties the window without rewinding the sequence counters, so dseqs
+// of dropped entries are never reissued: stale calendar events referencing
+// them fail the valid() range check forever.
+func (r *threadROB) drain() { r.headSeq = r.tailSeq }
+
 // reset empties the window and rewinds the sequence counters to zero. Ring
 // contents need no clearing: push fully overwrites an entry before any read,
 // and valid() only consults the live [headSeq, tailSeq) range.

@@ -2,18 +2,20 @@ package cpu
 
 import "dcra/internal/isa"
 
-// squashAfter removes every in-flight uop of thread t younger than dseq
-// `after` — back-end entries and the whole front-end pipe — releasing their
-// resources, then redirects fetch to canonical stream index redirectIdx.
-// It implements both branch-misprediction recovery and the FLUSH policy's
-// load squash.
-func (m *Machine) squashAfter(t int, after uint64, redirectIdx uint64) {
+// reclaim releases every in-flight uop of thread t with dseq >= lo — ROB
+// entries and the whole front-end pipe — returning issue-queue slots,
+// registers, pending-miss counts and producer-ring slots to the shared
+// pools, restoring the RAS to the oldest reclaimed snapshot, and bumping
+// the squash generation so stale calendar events can never validate against
+// entries dispatched later. The caller truncates the ROB window itself
+// (rollbackTo for a partial squash, drain for a full one).
+func (m *Machine) reclaim(t int, lo uint64) {
 	ts := &m.threads[t]
 	r := m.rob[t]
 	ts.gen++
 
 	rasRestore := int32(-1)
-	for ds := r.tailSeq; ds > after+1; ds-- {
+	for ds := r.tailSeq; ds > lo; ds-- {
 		e := r.at(ds - 1)
 		m.st.Threads[t].Squashed++
 		if e.state == stateDispatched && e.iqQueue >= 0 {
@@ -44,7 +46,6 @@ func (m *Machine) squashAfter(t int, after uint64, redirectIdx uint64) {
 		m.robCount[t]--
 		rasRestore = e.rasTop // last visited = oldest squashed
 	}
-	r.rollbackTo(after)
 
 	fe := &m.fe[t]
 	if fe.count > 0 {
@@ -57,9 +58,18 @@ func (m *Machine) squashAfter(t int, after uint64, redirectIdx uint64) {
 	if rasRestore >= 0 {
 		m.pred.SetRASTop(t, rasRestore)
 	}
-
 	ts.wrongPath = false
-	ts.fetchIdx = redirectIdx
+}
+
+// squashAfter removes every in-flight uop of thread t younger than dseq
+// `after` — back-end entries and the whole front-end pipe — releasing their
+// resources, then redirects fetch to canonical stream index redirectIdx.
+// It implements both branch-misprediction recovery and the FLUSH policy's
+// load squash.
+func (m *Machine) squashAfter(t int, after uint64, redirectIdx uint64) {
+	m.reclaim(t, after+1)
+	m.rob[t].rollbackTo(after)
+	m.threads[t].fetchIdx = redirectIdx
 }
 
 // FlushThread implements the FLUSH response action: it finds thread t's

@@ -154,6 +154,17 @@ func Specs() []Spec {
 				return []RenderedTable{{"mlp", MLPReport(rows)}}, nil
 			},
 		},
+		{
+			Key: "sched", Title: "Open-system scheduler: throughput, tail latency, fairness",
+			Sweep: SchedSweep,
+			Render: func(s *Suite) ([]RenderedTable, error) {
+				tbl, err := SchedTable(s)
+				if err != nil {
+					return nil, err
+				}
+				return []RenderedTable{{"sched", tbl}}, nil
+			},
+		},
 	}
 }
 

@@ -230,10 +230,14 @@ func (s *Suite) RequestedCells() map[campaign.Cell]struct{} {
 }
 
 // computeCell simulates one cell: a multiprogrammed Table 4 workload under a
-// named policy, or a "bench:" single-thread protocol cell.
+// named policy, a "bench:" single-thread protocol cell, or a "sched:"
+// open-system job-stream trial.
 func (s *Suite) computeCell(c campaign.Cell) (sim.Result, error) {
 	if name, ok := strings.CutPrefix(c.WID, benchPrefix); ok {
 		return s.computeBenchCell(c, name)
+	}
+	if strings.HasPrefix(c.WID, schedPrefix) {
+		return s.computeSchedCell(c)
 	}
 	w, err := workload.ByID(c.WID)
 	if err != nil {

@@ -101,6 +101,85 @@ func TestMean(t *testing.T) {
 	}
 }
 
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {5, 15}, {30, 20}, {40, 20}, {50, 35}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input order must not matter, and the input must not be mutated.
+	shuffled := []float64{40, 15, 50, 20, 35}
+	if got := Percentile(shuffled, 50); !almost(got, 35) {
+		t.Fatalf("Percentile on shuffled input = %v, want 35", got)
+	}
+	if shuffled[0] != 40 || shuffled[4] != 35 {
+		t.Fatalf("Percentile mutated its input: %v", shuffled)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if got := Percentile([]float64{7}, 99); !almost(got, 7) {
+		t.Fatalf("single-sample p99 = %v, want 7", got)
+	}
+}
+
+// The nearest-rank percentile is always an element of the sample, bounded by
+// its extremes, and monotone in p.
+func TestPercentileProperties(t *testing.T) {
+	err := quick.Check(func(a, b, c, d uint16, p uint8) bool {
+		xs := []float64{float64(a), float64(b), float64(c), float64(d)}
+		pp := float64(p % 101)
+		v := Percentile(xs, pp)
+		found := false
+		for _, x := range xs {
+			if x == v {
+				found = true
+			}
+		}
+		lo, hi := Percentile(xs, 0), Percentile(xs, 100)
+		return found && v >= lo && v <= hi && Percentile(xs, pp) <= Percentile(xs, 100)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if got := JainFairness([]float64{3, 3, 3}); !almost(got, 1) {
+		t.Fatalf("equal allocations: Jain = %v, want 1", got)
+	}
+	// One of n entities holding everything scores exactly 1/n.
+	if got := JainFairness([]float64{5, 0, 0, 0}); !almost(got, 0.25) {
+		t.Fatalf("single-hog Jain = %v, want 0.25", got)
+	}
+	if got := JainFairness([]float64{1, 2}); !almost(got, 9.0/10) {
+		t.Fatalf("Jain(1,2) = %v, want 0.9", got)
+	}
+	if JainFairness(nil) != 0 || JainFairness([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate Jain should be 0")
+	}
+	// Negative entries count as zero allocation, not negative fairness.
+	if got := JainFairness([]float64{-1, 2, 2}); got <= 0 || got > 1 {
+		t.Fatalf("Jain with negative entry = %v outside (0,1]", got)
+	}
+}
+
+// Jain's index always lands in [1/n, 1] for any non-degenerate allocation.
+func TestJainBounds(t *testing.T) {
+	err := quick.Check(func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		j := JainFairness(xs)
+		return j >= 1.0/3-1e-9 && j <= 1+1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Harmonic mean is always <= arithmetic mean of the relative IPCs.
 func TestHmeanLEArithmetic(t *testing.T) {
 	err := quick.Check(func(a, b, c uint16) bool {

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"fmt"
+
+	"dcra/internal/rng"
+)
+
+// ArrivalKind names an arrival process.
+type ArrivalKind string
+
+// The three arrival processes the scheduler models.
+const (
+	// Batch is the closed-system view: every job is present at cycle 0
+	// (the paper's fixed multiprogrammed workloads, reframed as jobs).
+	Batch ArrivalKind = "batch"
+	// Open is a fixed-rate open system: one job every Gap cycles.
+	Open ArrivalKind = "open"
+	// Bursty delivers jobs in bursts of Burst simultaneous arrivals; burst
+	// spacing is drawn from the trial's seeded RNG with the same long-run
+	// rate as Open at the same Gap.
+	Bursty ArrivalKind = "burst"
+)
+
+// Arrivals describes one arrival process: how many jobs enter the system and
+// when. All randomness is drawn from the seeded trial RNG, so a trial's
+// arrival schedule is a pure function of (Arrivals, seed).
+type Arrivals struct {
+	Kind ArrivalKind
+	Jobs int
+	// Gap is the mean interarrival time in cycles (Open and Bursty).
+	Gap uint64
+	// Burst is the number of jobs arriving together (Bursty only, >= 1).
+	Burst int
+}
+
+// Validate checks the process is well-formed.
+func (a Arrivals) Validate() error {
+	switch a.Kind {
+	case Batch:
+	case Open:
+		if a.Gap == 0 {
+			return fmt.Errorf("sched: open arrivals need a non-zero gap")
+		}
+	case Bursty:
+		if a.Gap == 0 {
+			return fmt.Errorf("sched: bursty arrivals need a non-zero gap")
+		}
+		if a.Burst < 1 {
+			return fmt.Errorf("sched: bursty arrivals need burst >= 1")
+		}
+	default:
+		return fmt.Errorf("sched: unknown arrival kind %q", a.Kind)
+	}
+	if a.Jobs < 1 {
+		return fmt.Errorf("sched: arrival process offers %d jobs", a.Jobs)
+	}
+	return nil
+}
+
+// Times returns the non-decreasing arrival cycles of all Jobs jobs,
+// consuming randomness from rg (Bursty only; Batch and Open are fully
+// deterministic and leave rg untouched).
+func (a Arrivals) Times(rg *rng.Source) []uint64 {
+	times := make([]uint64, a.Jobs)
+	switch a.Kind {
+	case Batch:
+		// all zero
+	case Open:
+		for i := range times {
+			times[i] = uint64(i) * a.Gap
+		}
+	case Bursty:
+		// Bursts of a.Burst jobs; the gap between consecutive bursts sums
+		// one seeded draw per job in the burst, uniform on [1, 2*Gap-1]
+		// (mean Gap), so the long-run offered load matches Open at the
+		// same Gap while the instantaneous load spikes.
+		var at uint64
+		for i := 0; i < a.Jobs; i += a.Burst {
+			for j := i; j < i+a.Burst && j < a.Jobs; j++ {
+				times[j] = at
+			}
+			var gap uint64
+			for j := 0; j < a.Burst; j++ {
+				gap += 1 + rg.Uint64()%(2*a.Gap-1)
+			}
+			at += gap
+		}
+	}
+	return times
+}
+
+// String renders the process compactly for logs and table rows, e.g.
+// "open:g3000" or "burst:g3000:k4".
+func (a Arrivals) String() string {
+	switch a.Kind {
+	case Bursty:
+		return fmt.Sprintf("%s:g%d:k%d", a.Kind, a.Gap, a.Burst)
+	case Open:
+		return fmt.Sprintf("%s:g%d", a.Kind, a.Gap)
+	default:
+		return string(a.Kind)
+	}
+}

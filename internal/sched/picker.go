@@ -1,0 +1,96 @@
+package sched
+
+import "fmt"
+
+// Picker is the co-schedule policy: when a hardware context frees up, Pick
+// chooses which queued job occupies it, given the jobs currently running on
+// the other contexts. queue is non-empty and in arrival order; running has
+// one slot per hardware context, nil where the context is idle. Pick returns
+// an index into queue.
+//
+// Pickers must be deterministic pure functions of their arguments: the
+// scheduler's bit-reproducible event logs depend on it.
+type Picker interface {
+	Name() string
+	Pick(queue []*Job, running []*Job) int
+}
+
+// FCFS places jobs strictly in arrival order.
+type FCFS struct{}
+
+// Name implements Picker.
+func (FCFS) Name() string { return "FCFS" }
+
+// Pick implements Picker.
+func (FCFS) Pick(queue []*Job, running []*Job) int { return 0 }
+
+// SJF (shortest job first) places the queued job with the smallest remaining
+// instruction budget, breaking ties in arrival order. With budgets known up
+// front this is the classic turnaround-minimising heuristic; it trades tail
+// latency of long jobs for mean turnaround.
+type SJF struct{}
+
+// Name implements Picker.
+func (SJF) Name() string { return "SJF" }
+
+// Pick implements Picker.
+func (SJF) Pick(queue []*Job, running []*Job) int {
+	best := 0
+	for i := 1; i < len(queue); i++ {
+		if queue[i].Budget < queue[best].Budget {
+			best = i
+		}
+	}
+	return best
+}
+
+// Symbiosis is the symbiosis-aware picker: it classifies jobs by the paper's
+// ILP/MEM thread taxonomy (trace.Profile.Mem) and steers the mix on the core
+// away from stacked MEM jobs, which fight over the L2 and memory bandwidth,
+// and away from all-ILP mixes, which leave the memory system idle. When MEM
+// jobs hold at least as many contexts as ILP jobs it prefers the first
+// queued ILP job, and vice versa; if no job of the preferred class is
+// queued, it falls back to arrival order.
+type Symbiosis struct{}
+
+// Name implements Picker.
+func (Symbiosis) Name() string { return "SYMB" }
+
+// Pick implements Picker.
+func (Symbiosis) Pick(queue []*Job, running []*Job) int {
+	mem, ilp := 0, 0
+	for _, j := range running {
+		if j == nil {
+			continue
+		}
+		if j.Mem {
+			mem++
+		} else {
+			ilp++
+		}
+	}
+	wantMem := mem < ilp
+	for i, j := range queue {
+		if j.Mem == wantMem {
+			return i
+		}
+	}
+	return 0
+}
+
+// PickerByName resolves a picker name arriving from a CLI flag or campaign
+// cell: FCFS, SJF or SYMB.
+func PickerByName(name string) (Picker, error) {
+	switch name {
+	case "FCFS":
+		return FCFS{}, nil
+	case "SJF":
+		return SJF{}, nil
+	case "SYMB":
+		return Symbiosis{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown picker %q (have FCFS, SJF, SYMB)", name)
+}
+
+// PickerNames lists the co-schedule policies in presentation order.
+func PickerNames() []string { return []string{"FCFS", "SJF", "SYMB"} }

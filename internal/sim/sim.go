@@ -31,6 +31,36 @@ type Result struct {
 	Throughput float64   // sum of IPCs
 	Hmean      float64   // harmonic mean of relative IPCs (0 if baselines missing)
 	WSpeedup   float64
+
+	// Sched carries open-system scheduler metrics when the cell is a
+	// job-stream trial (internal/sched) rather than a fixed-window run.
+	Sched *SchedSummary `json:"Sched,omitempty"`
+}
+
+// SchedSummary is the open-system slice of a Result: the per-trial metrics
+// of one job-stream scheduling run. It lives here (not in internal/sched) so
+// the campaign store can persist trials without the sim package importing
+// the scheduler that drives it.
+type SchedSummary struct {
+	Contexts  int    `json:"contexts"`  // hardware contexts served
+	Jobs      int    `json:"jobs"`      // jobs offered by the arrival process
+	Completed int    `json:"completed"` // jobs run to their full budget
+	Cycles    uint64 `json:"cycles"`    // trial length in cycles
+
+	JobsPerMCycle float64 `json:"jobs_per_mcycle"` // completed jobs per 10^6 cycles
+	UopsPerCycle  float64 `json:"uops_per_cycle"`  // aggregate committed IPC over the trial
+
+	P50Turnaround  float64 `json:"p50_turnaround_cycles"`
+	P99Turnaround  float64 `json:"p99_turnaround_cycles"`
+	MeanTurnaround float64 `json:"mean_turnaround_cycles"`
+
+	// Jain is Jain's fairness index over completed jobs' progress rates
+	// (budget / turnaround): 1.0 means every job progressed equally fast.
+	Jain float64 `json:"jain_fairness"`
+
+	// EventLogSHA digests the trial's job event log; same-seed trials must
+	// reproduce it byte-identically (the determinism tests assert this).
+	EventLogSHA string `json:"event_log_sha"`
 }
 
 // baselineKey identifies one single-thread baseline run. config.Config is a
