@@ -1,8 +1,9 @@
 // Command benchjson records the repo's performance trajectory as JSON: raw
-// simulator speed (the same measurement as BenchmarkSimulatorSpeed) and the
+// simulator speed (the same measurement as BenchmarkSimulatorSpeed), the
 // quick-suite Figure 5 wall-clock plus allocation totals (the same
-// measurement as BenchmarkFigure5). CI and PERFORMANCE.md use it to track
-// ns/cycle across PRs without parsing `go test -bench` output.
+// measurement as BenchmarkFigure5), and the sampled-mode sweep's wall-clock,
+// speedup, and exact-vs-sampled parity statistics. CI and PERFORMANCE.md use
+// it to track ns/cycle across PRs without parsing `go test -bench` output.
 //
 // Usage:
 //
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"dcra"
+	"dcra/internal/campaign"
 	"dcra/internal/experiments"
 )
 
@@ -47,6 +49,13 @@ type Record struct {
 	VsICount  float64 `json:"fig5_hmean_vs_icount_pct"`
 	VsDG      float64 `json:"fig5_hmean_vs_dg_pct"`
 	VsFlushPP float64 `json:"fig5_hmean_vs_flushpp_pct"`
+
+	// Sampled-mode quick Figure 5: the same sweep under SMARTS sampling, its
+	// speedup over the exact sweep above, and the parity contract (every
+	// cell's sampled throughput within its reported 99.7% CI of exact).
+	SampledSeconds float64                 `json:"figure5_sampled_quick_seconds"`
+	SampledSpeedup float64                 `json:"figure5_sampled_speedup"`
+	Parity         experiments.ParityStats `json:"fig5_sampled_parity"`
 }
 
 func main() {
@@ -104,6 +113,26 @@ func main() {
 	rec.VsDG = f5.AvgHmeanImprovement[experiments.PolDG]
 	rec.VsFlushPP = f5.AvgHmeanImprovement[experiments.PolFlushPP]
 
+	// Sampled-mode Figure 5: time the same sweep under SMARTS sampling, then
+	// run the parity harness — the exact cells above and the sampled cells
+	// just timed are both memoised, so parity adds only the comparison.
+	sampled := experiments.NewQuickSuite()
+	sampled.Runner.Warmup, sampled.Runner.Measure = 15_000, 60_000
+	sampled.Mode = campaign.ModeSampled
+	start = time.Now()
+	if err := sampled.Prefetch(experiments.Figure5Sweep().Cells); err != nil {
+		fatal(err)
+	}
+	rec.SampledSeconds = time.Since(start).Seconds()
+	if rec.SampledSeconds > 0 {
+		rec.SampledSpeedup = rec.Figure5Seconds / rec.SampledSeconds
+	}
+	if _, parity, err := experiments.Figure5Parity(s, sampled); err != nil {
+		fatal(err)
+	} else {
+		rec.Parity = parity
+	}
+
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -112,8 +141,9 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchjson: %.0f ns/cycle, figure5 quick %.1fs (%d workers) -> %s\n",
-		rec.NsPerCycle, rec.Figure5Seconds, rec.Workers, *out)
+	fmt.Printf("benchjson: %.0f ns/cycle, figure5 quick %.1fs exact / %.1fs sampled (%.2fx, %d/%d within CI, %d workers) -> %s\n",
+		rec.NsPerCycle, rec.Figure5Seconds, rec.SampledSeconds, rec.SampledSpeedup,
+		rec.Parity.WithinCI, rec.Parity.Cells, rec.Workers, *out)
 }
 
 func fatal(err error) {

@@ -68,6 +68,7 @@ type suiteFlags struct {
 	quick   *bool
 	warmup  *uint64
 	measure *uint64
+	sampled *bool
 }
 
 func addSuiteFlags(fs *flag.FlagSet) suiteFlags {
@@ -75,6 +76,8 @@ func addSuiteFlags(fs *flag.FlagSet) suiteFlags {
 		quick:   fs.Bool("quick", false, "reduced measurement windows (~6x faster)"),
 		warmup:  fs.Uint64("warmup", 0, "override warmup cycles"),
 		measure: fs.Uint64("measure", 0, "override measured cycles"),
+		sampled: fs.Bool("sampled", false,
+			"SMARTS-style sampled execution for workload cells (bench/sched cells stay exact; renders prefer stored exact results)"),
 	}
 }
 
@@ -88,6 +91,9 @@ func (sf suiteFlags) suite() *experiments.Suite {
 	}
 	if *sf.measure > 0 {
 		s.Runner.Measure = *sf.measure
+	}
+	if *sf.sampled {
+		s.Mode = campaign.ModeSampled
 	}
 	return s
 }
@@ -117,7 +123,9 @@ func cmdRun(args []string) {
 		}
 		s.Store = st
 	}
-	sweep := spec.Sweep()
+	// Sharding enumerates the mode-applied sweep, so a sampled campaign's
+	// shard files carry sampled cells (their own keys) end to end.
+	sweep := experiments.ApplyMode(spec.Sweep(), s.Mode)
 
 	if *shards <= 1 && (*shard != 0 || *out != "") {
 		fatal(fmt.Errorf("-shard/-out only make sense with -shards N > 1 (did you forget -shards?)"))
@@ -267,7 +275,12 @@ func cmdGC(args []string) {
 	}
 	keep := make(map[string]bool)
 	for _, sp := range experiments.Specs() {
-		for _, c := range sp.Sweep().Cells {
+		sweep := sp.Sweep()
+		for _, c := range sweep.Cells {
+			keep[c.Key()] = true
+		}
+		// Sampled campaigns store cells under their own keys; keep those too.
+		for _, c := range experiments.ApplyMode(sweep, campaign.ModeSampled).Cells {
 			keep[c.Key()] = true
 		}
 	}
@@ -291,6 +304,7 @@ func cmdStatus(args []string) {
 	var (
 		exp      = fs.String("exp", "", "experiment key")
 		storeDir = fs.String("store", "", "persistent result store directory")
+		sampled  = fs.Bool("sampled", false, "count the sampled variant of the sweep")
 	)
 	fs.Parse(args)
 	spec, err := experiments.SpecByKey(*exp)
@@ -305,6 +319,9 @@ func cmdStatus(args []string) {
 		fatal(err)
 	}
 	sweep := spec.Sweep()
+	if *sampled {
+		sweep = experiments.ApplyMode(sweep, campaign.ModeSampled)
+	}
 	present, missing := st.Count(sweep)
 	p := st.Params()
 	fmt.Printf("campaign: %s (sweep %s, warmup %d, measure %d): %d/%d cells in %s\n",

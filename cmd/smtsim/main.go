@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"dcra"
+	"dcra/internal/sample"
 	"dcra/internal/sched"
 	"dcra/internal/workload"
 )
@@ -41,6 +42,7 @@ func main() {
 		physRegs   = flag.Int("regs", 0, "override physical register file size per class")
 		list       = flag.Bool("list", false, "list benchmarks and workloads, then exit")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		sampled    = flag.Bool("sampled", false, "SMARTS-style sampled run (schedule derived from -warmup/-cycles)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smtsim:", err)
 		os.Exit(1)
 	}
+
+	if *sampled {
+		p := sample.Derive(*warmup, *cycles)
+		sum, agg, err := sample.Run(m, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smtsim:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			rs := sched.StaticRunStats(pol.Name(), names, agg)
+			rs.Throughput = sum.Throughput // window mean, not the aggregate
+			rs.Sampled = sum
+			emitJSON(rs)
+			return
+		}
+		fmt.Printf("policy=%s threads=%v sampled: %d windows x (warmup=%d, measure=%d cycles), gaps ff=%d cycles\n",
+			pol.Name(), names, p.Windows, p.Warmup, p.Measure, p.FFCycles)
+		fmt.Printf("throughput %.4f +/- %.4f (99.7%% CI), %d uops fast-forwarded, %d cycles measured\n",
+			sum.Throughput, sum.ThroughputCI, sum.FastForwarded, sum.MeasuredCycles)
+		fmt.Print(agg)
+		return
+	}
+
 	m.Run(*warmup)
 	m.ResetStats()
 	m.Run(*cycles)

@@ -31,6 +31,8 @@ func serveMain(args []string) {
 		memLatency = fs.Int("mem-latency", 0, "override main-memory latency (pairs L2 with 10/20/25)")
 		showLog    = fs.Bool("log", false, "print the job event log")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		ffDrain    = fs.Bool("ff-drain", false,
+			"fast-forward the tail: once all jobs arrived and none queue, drain the last co-schedule functionally (event-log digest is mode-dependent)")
 	)
 	fs.Parse(args)
 
@@ -60,6 +62,7 @@ func serveMain(args []string) {
 		Budget:    *budget,
 		Seed:      *seed,
 		MaxCycles: *maxCycles,
+		FFDrain:   *ffDrain,
 	})
 	if err != nil {
 		fatal(err)

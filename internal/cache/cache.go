@@ -119,6 +119,35 @@ func (c *Cache) Access(addr uint64, now uint64) (lat int, miss bool) {
 	return lat, true
 }
 
+// Touch performs a functional access: tags and LRU update exactly as Access
+// would update them (same victim selection: first invalid way, else LRU),
+// but no bank occupancy and no statistics. It reports a hit. Fast-forward
+// uses it to keep long-lived cache contents warm across skipped regions
+// without perturbing the timing state the next detailed window resumes from.
+func (c *Cache) Touch(addr uint64) bool {
+	c.stamp++
+	la := c.LineAddr(addr)
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			set[i].lru = c.stamp
+			return true
+		}
+	}
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if victim == -1 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: la, valid: true, lru: c.stamp}
+	return false
+}
+
 // Insert allocates the line containing addr without modelling access
 // latency, bank occupancy or statistics. Used only for pre-warming resident
 // working sets before simulation starts.

@@ -194,6 +194,31 @@ func (h *Hierarchy) AccessD(addr uint64, now uint64) AccessResult {
 	return res
 }
 
+// TouchI functionally touches the instruction path for addr: L1I tags and
+// LRU update as a fetch would, falling through to L2 on a miss. No timing
+// state (bank ports, MSHRs) and no statistics change, so a detailed window
+// resuming after a fast-forwarded region sees warm contents but idle ports.
+func (h *Hierarchy) TouchI(addr uint64) {
+	if h.cfg.PerfectICache {
+		return
+	}
+	if !h.L1I.Touch(addr) {
+		h.L2.Touch(addr)
+	}
+}
+
+// TouchD functionally touches the data path for addr: TLB, L1D and (on an
+// L1D miss) L2, contents only. The counterpart of AccessD for fast-forward.
+func (h *Hierarchy) TouchD(addr uint64) {
+	h.TLB.Insert(addr)
+	if h.cfg.PerfectDCache {
+		return
+	}
+	if !h.L1D.Touch(addr) {
+		h.L2.Touch(addr)
+	}
+}
+
 // OutstandingMem returns the number of in-flight main-memory fills at cycle
 // now — the instantaneous memory-level parallelism used for the paper's
 // overlapping-miss statistic. Fills queued behind a full MSHR file are

@@ -15,6 +15,7 @@ type TLB struct {
 	entries  []line
 	index    map[uint64]int32 // page -> slot of a valid entry
 	valid    int              // number of valid entries; slots fill top-down
+	lastSlot int32            // slot of the last Insert hit, -1 if none
 	pageBits uint
 	stamp    uint64
 
@@ -31,6 +32,7 @@ func NewTLB(n, pageBytes int) *TLB {
 	return &TLB{
 		entries:  make([]line, n),
 		index:    make(map[uint64]int32, n),
+		lastSlot: -1,
 		pageBits: bits,
 	}
 }
@@ -50,15 +52,23 @@ func (t *TLB) Access(addr uint64) bool {
 }
 
 // Insert pre-loads the page of addr without counting statistics (used by
-// hierarchy pre-warming).
+// hierarchy pre-warming and fast-forward warming). The last inserted page is
+// short-circuited past the map probe — warming walks are heavily
+// page-sequential — with identical contents and LRU order.
 func (t *TLB) Insert(addr uint64) {
 	t.stamp++
 	page := addr >> t.pageBits
+	if s := t.lastSlot; s >= 0 && t.entries[s].valid && t.entries[s].tag == page {
+		t.entries[s].lru = t.stamp
+		return
+	}
 	if i, ok := t.index[page]; ok {
 		t.entries[i].lru = t.stamp
+		t.lastSlot = i
 		return
 	}
 	t.insertPage(page)
+	t.lastSlot = t.index[page]
 }
 
 // insertPage places page into a free slot (top-down fill) or evicts the LRU
@@ -98,6 +108,7 @@ func (t *TLB) Reset() {
 	clear(t.entries)
 	clear(t.index)
 	t.valid = 0
+	t.lastSlot = -1
 	t.stamp = 0
 	t.ResetStats()
 }

@@ -32,6 +32,30 @@ type Cell struct {
 	Cfg config.Config `json:"cfg"`
 	WID string        `json:"wid"`
 	Pol string        `json:"pol"`
+
+	// Mode selects the execution mode: ModeExact (the empty string, so every
+	// pre-existing exact cell keeps its content key) or ModeSampled. Exact
+	// and sampled runs of the same triple are distinct cells — the store
+	// holds both and renders prefer exact when present.
+	Mode string `json:"mode,omitempty"`
+}
+
+// Execution modes for Cell.Mode.
+const (
+	ModeExact   = ""
+	ModeSampled = "sampled"
+)
+
+// Sampled returns the cell's sampled-mode counterpart.
+func (c Cell) Sampled() Cell {
+	c.Mode = ModeSampled
+	return c
+}
+
+// Exact returns the cell's exact-mode counterpart.
+func (c Cell) Exact() Cell {
+	c.Mode = ModeExact
+	return c
 }
 
 // Key returns the cell's stable content-derived key: a 64-bit hex digest of
@@ -50,6 +74,9 @@ func (c Cell) Key() string {
 
 // String renders a short human-readable identity for logs and errors.
 func (c Cell) String() string {
+	if c.Mode != ModeExact {
+		return fmt.Sprintf("%s/%s@%s[%s]", c.WID, c.Pol, c.Mode, c.Key())
+	}
 	return fmt.Sprintf("%s/%s[%s]", c.WID, c.Pol, c.Key())
 }
 

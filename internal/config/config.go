@@ -114,6 +114,49 @@ type Config struct {
 	// PerfectICache/PerfectDCache force hits (Figure 2 uses a perfect L1D).
 	PerfectICache bool
 	PerfectDCache bool
+
+	// Sampling, when non-zero, overrides the derived SMARTS-style schedule
+	// for sampled runs. The zero value means "derive from the runner's
+	// windows" and — via omitzero — leaves the JSON form of every exact
+	// configuration unchanged, so exact campaign cells keep their keys.
+	Sampling SamplingConfig `json:"Sampling,omitzero"`
+}
+
+// SamplingConfig is the SMARTS-style sampled-execution schedule: Windows
+// windows of (Warmup detailed cycles with statistics frozen, then Measure
+// measured detailed cycles), separated by functional fast-forward gaps. A
+// gap is either rate-proportional — FFCycles cycle-equivalents, each thread
+// skipping round(its measured IPC x FFCycles) uops, which keeps the sampled
+// windows aligned with the exact protocol's cycle interval — or fixed,
+// FFUops committed uops per thread. A non-zero SkipCycles fast-forwards
+// through the first SkipCycles cycle-equivalents (after a discarded pilot
+// window that measures commit rates) before the first measured window,
+// mirroring an exact protocol's warmup. All-zero means "not configured":
+// sampled runs then derive a schedule from the exact protocol's windows.
+type SamplingConfig struct {
+	SkipCycles uint64 `json:"skip_cycles,omitempty"`
+	FFCycles   uint64 `json:"ff_cycles,omitempty"`
+	FFUops     uint64 `json:"ff_uops,omitempty"`
+	Warmup     uint64 `json:"warmup,omitempty"`
+	Measure    uint64 `json:"measure,omitempty"`
+	Windows    int    `json:"windows,omitempty"`
+}
+
+// Enabled reports whether an explicit schedule is configured.
+func (s SamplingConfig) Enabled() bool { return s != SamplingConfig{} }
+
+// Validate checks the schedule is runnable (zero value is always valid).
+func (s SamplingConfig) Validate() error {
+	if !s.Enabled() {
+		return nil
+	}
+	if s.Measure == 0 || s.Windows <= 0 {
+		return fmt.Errorf("config: sampling needs a measure window and >= 1 windows, got %+v", s)
+	}
+	if s.FFCycles > 0 && s.FFUops > 0 {
+		return fmt.Errorf("config: sampling gaps are either rate-proportional (ff_cycles) or fixed (ff_uops), not both: %+v", s)
+	}
+	return nil
 }
 
 // Baseline returns the paper's Table 2 configuration.
@@ -208,7 +251,13 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
-	return nil
+	return c.Sampling.Validate()
+}
+
+// WithSampling returns a copy with an explicit sampled-execution schedule.
+func (c Config) WithSampling(s SamplingConfig) Config {
+	c.Sampling = s
+	return c
 }
 
 // WithMemLatency returns a copy with main-memory and L2 latency set, used by

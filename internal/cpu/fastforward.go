@@ -1,0 +1,168 @@
+package cpu
+
+import "dcra/internal/isa"
+
+// This file implements the functional fast-forward path behind SMARTS-style
+// sampled simulation (internal/sample): advance a thread's canonical stream
+// by committed-uop count while exercising only the long-lived
+// microarchitectural state that carries across measurement windows — cache
+// and TLB contents and the branch predictor's tables — and skipping the
+// detailed front-end/dispatch/issue/commit pipeline entirely.
+//
+// Determinism is the same contract as everywhere else: fast-forward consumes
+// the identical canonical uop sequence the detailed pipeline would commit
+// (wrong-path fetch never advances the canonical cursor), so two same-seed
+// runs with identical fast-forward schedules are bit-identical.
+
+// nextCommitIndex returns the canonical stream index of thread t's oldest
+// in-flight uop — the uop the thread would commit next — falling back to the
+// fetch cursor when nothing canonical is in flight. Wrong-path entries carry
+// no canonical index and are skipped.
+func (m *Machine) nextCommitIndex(t int) uint64 {
+	r := m.rob[t]
+	for ds := r.headSeq; ds < r.tailSeq; ds++ {
+		if e := r.at(ds); !e.u.WrongPath {
+			return e.u.Index
+		}
+	}
+	fe := &m.fe[t]
+	for i := 0; i < fe.count; i++ {
+		if u := &fe.ring[(fe.head+i)&fe.mask].u; !u.WrongPath {
+			return u.Index
+		}
+	}
+	return m.threads[t].fetchIdx
+}
+
+// FastForwardThread functionally advances thread t by n committed uops.
+// In-flight state is drained first (squashed back to the commit point, the
+// fetch cursor rewound to the next-to-commit uop), then each skipped uop
+// touches the I-cache once per line, trains the branch predictor, and
+// touches the data hierarchy for loads and stores. Timing state — cycle
+// count, bank ports, MSHRs, event calendar — does not advance; the next
+// detailed window resumes from warm contents and an empty pipeline.
+//
+// Statistics other than FastForwarded and the drain's Squashed count are
+// untouched: fast-forwarded uops are not Committed.
+func (m *Machine) FastForwardThread(t int, n uint64) {
+	m.ffRewind(t)
+	m.ffAdvance(t, n)
+}
+
+// ffRewind squashes thread t's in-flight state back to the commit point and
+// rewinds the fetch cursor to the next-to-commit uop.
+func (m *Machine) ffRewind(t int) {
+	idx := m.nextCommitIndex(t)
+	m.drainThread(t)
+	m.threads[t].fetchIdx = idx
+	m.threads[t].icacheReadyAt = 0
+}
+
+// ffAdvance walks n canonical uops of a rewound thread through the
+// functional-warming path. Uops already synthesised (between the commit
+// point and the generation frontier) are consumed from the retained window;
+// past the frontier Stream.SkipUop takes over, generating each uop without
+// retention — identical draws, so the canonical stream is preserved
+// bit-for-bit, minus the buffer bookkeeping.
+func (m *Machine) ffAdvance(t int, n uint64) {
+	ts := &m.threads[t]
+	stream := ts.stream
+	lastLine := ^uint64(0)
+	lastData := ^uint64(0)
+	var scratch isa.Uop
+	for i := uint64(0); i < n; i++ {
+		u := &scratch
+		if ts.fetchIdx < stream.Frontier() {
+			u = stream.At(ts.fetchIdx)
+			ts.fetchIdx++
+			stream.Release(ts.fetchIdx)
+		} else {
+			stream.SkipUop(&scratch)
+			ts.fetchIdx++
+		}
+		if line := u.PC >> 6; line != lastLine {
+			m.hier.TouchI(u.PC)
+			lastLine = line
+		}
+		switch u.Class {
+		case isa.OpBranch:
+			m.pred.Predict(t, u)
+		case isa.OpLoad, isa.OpStore:
+			// Back-to-back accesses to one line (sequential walks) collapse
+			// into a single touch; the skipped re-touches would only refresh
+			// an already-MRU LRU stamp.
+			if line := u.Addr >> 6; line != lastData {
+				m.hier.TouchD(u.Addr)
+				lastData = line
+			}
+		}
+	}
+	m.st.Threads[t].FastForwarded += n
+}
+
+// ffChunk is the round-robin quantum of a multi-thread fast-forward: threads
+// advance in interleaved chunks so the shared caches see all threads'
+// footprints mingled, as concurrent detailed execution would leave them. A
+// thread-at-a-time walk would let the last thread's working set evict the
+// others' lines before every measurement window, biasing sampled IPC low.
+const ffChunk = 128
+
+// FastForward advances every non-parked thread by n committed uops,
+// interleaved in ffChunk-uop round-robin quanta. The schedule is a pure
+// function of (n, thread count), so same-seed sampled runs reproduce
+// bit-identically.
+func (m *Machine) FastForward(n uint64) {
+	rem := m.ffBuf[:0]
+	for t := 0; t < m.nt; t++ {
+		rem = append(rem, n)
+	}
+	m.ffRun(rem)
+}
+
+// FastForwardBudgets advances thread t by budgets[t] committed uops (parked
+// threads and missing entries skip nothing), interleaved like FastForward so
+// threads with unequal budgets — e.g. rate-proportional sampling gaps —
+// still mingle their cache footprints. Every non-parked thread is rewound to
+// its commit point even on a zero budget, so the machine restarts uniformly.
+// The schedule is a pure function of the budget vector, keeping same-seed
+// sampled runs bit-identical.
+func (m *Machine) FastForwardBudgets(budgets []uint64) {
+	rem := m.ffBuf[:0]
+	for t := 0; t < m.nt; t++ {
+		b := uint64(0)
+		if t < len(budgets) {
+			b = budgets[t]
+		}
+		rem = append(rem, b)
+	}
+	m.ffRun(rem)
+}
+
+// ffRun rewinds every non-parked thread and walks the remaining budgets in
+// interleaved ffChunk-uop round-robin quanta. rem aliases the machine's
+// scratch buffer and is consumed.
+func (m *Machine) ffRun(rem []uint64) {
+	var total uint64
+	for t := 0; t < m.nt; t++ {
+		if m.threads[t].parked {
+			rem[t] = 0
+			continue
+		}
+		m.ffRewind(t)
+		total += rem[t]
+	}
+	for total > 0 {
+		for t := 0; t < m.nt; t++ {
+			step := rem[t]
+			if step == 0 {
+				continue
+			}
+			if step > ffChunk {
+				step = ffChunk
+			}
+			m.ffAdvance(t, step)
+			rem[t] -= step
+			total -= step
+		}
+	}
+}

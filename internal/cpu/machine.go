@@ -129,6 +129,16 @@ type Machine struct {
 
 	events eventQueue
 
+	// Scratch reused each cycle by commit and dispatch: the round-robin
+	// passes gather live candidate threads once and then walk only those,
+	// and dispatch hoists the partitioner caps per thread per cycle (every
+	// Partitioner's Cap is a pure function of Tick-computed state, so the
+	// per-uop interface calls collapse to array reads in tryDispatch).
+	commitBuf []int32
+	dispBuf   []int32
+	capBuf    [][NumResources]int
+	ffBuf     []uint64 // fast-forward budget scratch
+
 	cycle    uint64
 	ageStamp uint64
 	commitRR int
@@ -221,6 +231,11 @@ func New(cfg config.Config, profiles []trace.Profile, pol Policy, seed uint64) (
 		pendingL1D: make([]int, nt),
 		pendingL2:  make([]int, nt),
 		allocFlags: make([][NumResources]bool, nt),
+
+		commitBuf: make([]int32, 0, nt),
+		dispBuf:   make([]int32, 0, nt),
+		capBuf:    make([][NumResources]int, nt),
+		ffBuf:     make([]uint64, 0, nt),
 
 		st:      stats.New(nt),
 		rankBuf: make([]int, 0, nt),

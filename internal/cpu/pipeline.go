@@ -104,23 +104,42 @@ func (m *Machine) complete(t int, e *robEntry) {
 func (m *Machine) commit() {
 	budget := m.cfg.CommitWidth
 	start := m.commitRR
-	m.commitRR = (m.commitRR + 1) % m.nt
-	for budget > 0 {
-		progress := false
-		for i := 0; i < m.nt && budget > 0; i++ {
-			t := (start + i) % m.nt
-			e := m.rob[t].head()
-			if e == nil || e.state != stateDone {
-				continue
+	m.commitRR++
+	if m.commitRR == m.nt {
+		m.commitRR = 0
+	}
+	// Gather the threads with a committable head once, in rotation order.
+	// Completion events only land in processEvents, so a head that is not
+	// done now cannot become done within this cycle: the repeated passes
+	// below walk only live candidates instead of re-probing parked and
+	// empty threads.
+	live := m.commitBuf[:0]
+	for i := 0; i < m.nt; i++ {
+		t := start + i
+		if t >= m.nt {
+			t -= m.nt
+		}
+		if e := m.rob[t].head(); e != nil && e.state == stateDone {
+			live = append(live, int32(t))
+		}
+	}
+	for budget > 0 && len(live) > 0 {
+		n := 0
+		for _, t32 := range live {
+			if budget == 0 {
+				break
 			}
+			t := int(t32)
+			e := m.rob[t].head()
 			m.commitEntry(t, e)
 			m.rob[t].popHead()
 			budget--
-			progress = true
+			if e := m.rob[t].head(); e != nil && e.state == stateDone {
+				live[n] = t32
+				n++
+			}
 		}
-		if !progress {
-			return
-		}
+		live = live[:n]
 	}
 }
 
@@ -277,32 +296,58 @@ func (m *Machine) dispatch() {
 	for t := 0; t < m.nt; t++ {
 		m.allocFlags[t] = [NumResources]bool{}
 	}
+	if m.part != nil {
+		// Hoist the per-thread caps once per cycle. Cap is a pure function
+		// of state computed in the policy's Tick (DCRA's classification,
+		// SRA's constants), so sampling it per dispatch attempt would only
+		// repeat identical interface calls.
+		for t := 0; t < m.nt; t++ {
+			caps := &m.capBuf[t]
+			for r := Resource(0); r < NumResources; r++ {
+				caps[r] = m.part.Cap(m, t, r)
+			}
+		}
+	}
 	budget := m.cfg.FetchWidth
 	start := m.fetchRR // reuse rotation for fairness
-	var stalledMask uint32
-	for budget > 0 {
-		progress := false
-		for i := 0; i < m.nt && budget > 0; i++ {
-			t := (start + i) % m.nt
-			if stalledMask&(1<<uint(t)) != 0 {
-				continue
+	// Gather the threads with a dispatchable head once, in rotation order.
+	// Fetch runs after dispatch and readyAt only decreases with time, so a
+	// thread with an empty pipe or a not-yet-decoded head cannot become
+	// dispatchable within this cycle; a thread that stalls on resources is
+	// dropped from the list (it stays stalled until something frees, which
+	// only commit/issue — earlier stages — can do).
+	live := m.dispBuf[:0]
+	for i := 0; i < m.nt; i++ {
+		t := start + i
+		if t >= m.nt {
+			t -= m.nt
+		}
+		fe := &m.fe[t]
+		if fe.empty() || fe.peek().readyAt > m.cycle {
+			continue
+		}
+		live = append(live, int32(t))
+	}
+	for budget > 0 && len(live) > 0 {
+		n := 0
+		for _, t32 := range live {
+			if budget == 0 {
+				break
 			}
+			t := int(t32)
 			fe := &m.fe[t]
-			if fe.empty() || fe.peek().readyAt > m.cycle {
-				continue
-			}
 			if !m.tryDispatch(t, fe.peek()) {
 				m.st.Threads[t].DispatchStalls++
-				stalledMask |= 1 << uint(t)
 				continue
 			}
 			fe.pop()
 			budget--
-			progress = true
+			if !fe.empty() && fe.peek().readyAt <= m.cycle {
+				live[n] = t32
+				n++
+			}
 		}
-		if !progress {
-			return
-		}
+		live = live[:n]
 	}
 }
 
@@ -323,16 +368,17 @@ func (m *Machine) tryDispatch(t int, fe *feEntry) bool {
 	if ri >= 0 && m.regs[ri].available() == 0 {
 		return false
 	}
-	// Per-thread caps (SRA-style partitioning).
+	// Per-thread caps (SRA-style partitioning), hoisted by dispatch.
 	if m.part != nil {
-		if c := m.part.Cap(m, t, RROB); c > 0 && m.robCount[t] >= c {
+		caps := &m.capBuf[t]
+		if c := caps[RROB]; c > 0 && m.robCount[t] >= c {
 			return false
 		}
-		if c := m.part.Cap(m, t, Resource(q)); c > 0 && m.iqCount[t][q] >= c {
+		if c := caps[Resource(q)]; c > 0 && m.iqCount[t][q] >= c {
 			return false
 		}
 		if ri >= 0 {
-			if c := m.part.Cap(m, t, RIntRegs+Resource(ri)); c > 0 && m.regCount[t][ri] >= c {
+			if c := caps[RIntRegs+Resource(ri)]; c > 0 && m.regCount[t][ri] >= c {
 				return false
 			}
 		}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sampledDeterminismSuite is determinismSuite in sampled execution mode.
+func sampledDeterminismSuite(workers int) *Suite {
+	s := determinismSuite(workers)
+	s.Mode = "sampled"
+	return s
+}
+
+// TestSampledDeterminism runs the same cells in sampled mode on a serial
+// engine, a parallel engine, and a pool-less runner, and requires
+// bit-identical results — including every per-window throughput in the
+// sampling summary. Run under -race this also exercises the sampled
+// baseline cache.
+func TestSampledDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cells := determinismCells()
+
+	serial := sampledDeterminismSuite(1)
+	parallel := sampledDeterminismSuite(8)
+	fresh := sampledDeterminismSuite(8)
+	fresh.Runner.Pool = nil
+	for _, s := range []*Suite{serial, parallel, fresh} {
+		if err := s.Prefetch(cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, c := range cells {
+		c = serial.applyCellMode(c)
+		rs, err := serial.RunCell(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := c.WID + "/" + c.Pol
+		if rs.Sampled == nil {
+			t.Fatalf("%s: sampled-mode cell carries no sampling summary", id)
+		}
+		for name, other := range map[string]*Suite{"parallel": parallel, "pool-less": fresh} {
+			ro, err := other.RunCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Throughput != ro.Throughput {
+				t.Errorf("%s: throughput %v (serial) != %v (%s)", id, rs.Throughput, ro.Throughput, name)
+			}
+			if rs.Hmean != ro.Hmean || rs.WSpeedup != ro.WSpeedup {
+				t.Errorf("%s: derived metrics differ from %s run", id, name)
+			}
+			if !reflect.DeepEqual(rs.Sampled, ro.Sampled) {
+				t.Errorf("%s: sampling summaries differ between serial and %s:\n%+v\nvs\n%+v",
+					id, name, rs.Sampled, ro.Sampled)
+			}
+			if !reflect.DeepEqual(rs.Stats, ro.Stats) {
+				t.Errorf("%s: aggregate stats differ between serial and %s", id, name)
+			}
+		}
+	}
+}
+
+// TestFigure5Parity is the SMARTS accuracy contract at the quick-protocol
+// scale benchjson and CI measure: every Figure 5 cell's sampled throughput
+// must land within its reported 99.7% confidence interval of the exact
+// value. This is the most expensive test in the repo (a full exact plus a
+// full sampled quick sweep); -short skips it.
+func TestFigure5Parity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	exact := NewQuickSuite()
+	exact.Runner.Warmup, exact.Runner.Measure = 15_000, 60_000
+	sampled := NewQuickSuite()
+	sampled.Runner.Warmup, sampled.Runner.Measure = 15_000, 60_000
+	sampled.Mode = "sampled"
+
+	rows, st, err := Figure5Parity(exact, sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != len(rows) || st.Cells == 0 {
+		t.Fatalf("parity covered %d cells, rows %d", st.Cells, len(rows))
+	}
+	for _, r := range rows {
+		if !r.Within {
+			t.Errorf("%s/%s: sampled %.4f outside exact %.4f +/- %.4f",
+				r.Cell.WID, r.Cell.Pol, r.Sampled, r.Exact, r.CI)
+		}
+	}
+	if !st.AllWithin {
+		t.Errorf("parity: %d/%d cells within CI", st.WithinCI, st.Cells)
+	}
+	// Guard against the trivial pass where intervals are uselessly wide or
+	// the estimates drift: mean |error| stays well under typical cell
+	// throughput even while every cell clears its own interval.
+	if st.MeanAbsErr > 0.5 {
+		t.Errorf("mean |sampled - exact| = %.4f IPC, want <= 0.5", st.MeanAbsErr)
+	}
+}

@@ -160,6 +160,7 @@ func (s *Suite) computeSchedCell(c campaign.Cell) (sim.Result, error) {
 		Seed:      s.Runner.Seed,
 		MaxCycles: schedMaxCycles(s),
 		Pool:      s.Runner.Pool,
+		FFDrain:   s.SchedFFDrain,
 	})
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: sched cell %s: %w", c, err)

@@ -137,6 +137,21 @@ type Suite struct {
 	Engine *sim.Engine
 	Store  *campaign.Store // optional persistent result store
 
+	// Mode selects the execution mode cells are demanded in:
+	// campaign.ModeExact (default) or campaign.ModeSampled. Sampled mode
+	// applies to multiprogrammed workload cells only — "bench:" protocol
+	// cells (the baselines other metrics divide by) and "sched:" trials
+	// always run exact, so sampled and exact results share reference axes.
+	Mode string
+
+	// SchedFFDrain runs "sched:" trial cells with sched.Config.FFDrain:
+	// each trial's tail (all jobs arrived, none queued) fast-forwards
+	// functionally instead of simulating in detail. Drained trials report
+	// estimated turnarounds and mode-dependent event-log digests, so such
+	// cells bypass the persistent store entirely — they neither read the
+	// exact results nor pollute the store with estimates.
+	SchedFFDrain bool
+
 	memo singleflight.Memo[campaign.Cell, sim.Result]
 
 	simulated atomic.Int64
@@ -198,7 +213,24 @@ func (s *Suite) RunCell(c campaign.Cell) (sim.Result, error) {
 // submitted.
 func (s *Suite) runCell(c campaign.Cell) (sim.Result, error) {
 	return s.memo.Do(c, func() (sim.Result, error) {
+		if s.SchedFFDrain && strings.HasPrefix(c.WID, schedPrefix) {
+			// FF-drained trials are estimates: keep them out of the store.
+			r, err := s.computeCell(c)
+			if err == nil {
+				s.simulated.Add(1)
+			}
+			return r, err
+		}
 		if s.Store != nil {
+			// Renders prefer exact when present: a sampled cell whose exact
+			// counterpart is already in the store loads that instead of
+			// simulating an approximation of a result we hold exactly.
+			if c.Mode == campaign.ModeSampled {
+				if r, ok, err := s.Store.Get(c.Exact()); err == nil && ok {
+					s.storeHits.Add(1)
+					return r, nil
+				}
+			}
 			r, computed, err := s.Store.Do(c, func() (sim.Result, error) { return s.computeCell(c) })
 			if err == nil {
 				if computed {
@@ -234,9 +266,15 @@ func (s *Suite) RequestedCells() map[campaign.Cell]struct{} {
 // open-system job-stream trial.
 func (s *Suite) computeCell(c campaign.Cell) (sim.Result, error) {
 	if name, ok := strings.CutPrefix(c.WID, benchPrefix); ok {
+		if c.Mode != campaign.ModeExact {
+			return sim.Result{}, fmt.Errorf("experiments: cell %s: bench protocol cells run exact only", c)
+		}
 		return s.computeBenchCell(c, name)
 	}
 	if strings.HasPrefix(c.WID, schedPrefix) {
+		if c.Mode != campaign.ModeExact {
+			return sim.Result{}, fmt.Errorf("experiments: cell %s: sched trials run exact only", c)
+		}
 		return s.computeSchedCell(c)
 	}
 	w, err := workload.ByID(c.WID)
@@ -247,7 +285,15 @@ func (s *Suite) computeCell(c campaign.Cell) (sim.Result, error) {
 	if !multithreadPolicies[pn] {
 		return sim.Result{}, fmt.Errorf("experiments: cell %s: unknown policy %q", c, c.Pol)
 	}
-	return s.Runner.RunWorkload(c.Cfg, w, func() cpu.Policy { return newPolicy(pn, c.Cfg) })
+	mk := func() cpu.Policy { return newPolicy(pn, c.Cfg) }
+	switch c.Mode {
+	case campaign.ModeExact:
+		return s.Runner.RunWorkload(c.Cfg, w, mk)
+	case campaign.ModeSampled:
+		return s.Runner.RunWorkloadSampled(c.Cfg, w, mk)
+	default:
+		return sim.Result{}, fmt.Errorf("experiments: cell %s: unknown mode %q", c, c.Mode)
+	}
 }
 
 // computeBenchCell runs one benchmark alone under a single-thread protocol
@@ -293,9 +339,9 @@ func (s *Suite) computeBenchCell(c campaign.Cell, name string) (sim.Result, erro
 }
 
 // run returns the memoised result of one (cfg, workload, policy) cell — the
-// workload-cell convenience form of RunCell.
+// workload-cell convenience form of RunCell — in the suite's execution mode.
 func (s *Suite) run(cfg config.Config, w workload.Workload, pn PolicyName) (sim.Result, error) {
-	return s.RunCell(cellOf(cfg, w, pn))
+	return s.RunCell(s.applyCellMode(cellOf(cfg, w, pn)))
 }
 
 // engine returns the suite's engine, defaulting to GOMAXPROCS workers for
@@ -311,10 +357,12 @@ func (s *Suite) engine() *sim.Engine {
 // memo (and the store, if attached). Cells already computed (or in flight
 // from an earlier figure) cost one memo probe. The first error in submission
 // order is returned, matching what a serial run would have reported.
+// Prefetch applies the suite's execution mode to each cell first, exactly as
+// the render loops do, so a sampled suite prefetches the sampled sweep.
 func (s *Suite) Prefetch(cells []campaign.Cell) error {
 	errs := make([]error, len(cells))
 	s.engine().Run(len(cells), func(i int) {
-		_, errs[i] = s.runCell(cells[i])
+		_, errs[i] = s.runCell(s.applyCellMode(cells[i]))
 	})
 	return sim.FirstError(errs)
 }

@@ -143,7 +143,16 @@ func geomFromUniform(u, p float64) int {
 // goroutines.
 type GeomDist struct {
 	cdf []float64 // cdf[k-1] = P(X <= k), accumulated exactly like geomFromUniform
+
+	// guide[j] is the smallest index i with cdf[i] > j/guideBuckets: a draw
+	// u starts its linear scan at guide[int(u*guideBuckets)], which lands
+	// within a couple of entries of the answer for any mean. The table only
+	// accelerates the search — results are identical to a full scan.
+	guide [guideBuckets]int32
 }
+
+// guideBuckets is the resolution of the GeomDist guide table.
+const guideBuckets = 256
 
 // geomDistCache shares tables between streams; the experiment suite uses
 // only a handful of distinct means (one MeanDep and one PhaseLen per
@@ -169,6 +178,13 @@ func NewGeomDist(m float64) *GeomDist {
 			cdf[k-1] = c
 		}
 		g.cdf = cdf
+		i := int32(0)
+		for j := range g.guide {
+			for int(i) < len(cdf) && cdf[i] <= float64(j)/guideBuckets {
+				i++
+			}
+			g.guide[j] = i
+		}
 	}
 	actual, _ := geomDistCache.LoadOrStore(m, g)
 	return actual.(*GeomDist)
@@ -183,29 +199,17 @@ func (g *GeomDist) Sample(s *Source) int {
 	u := s.Float64()
 	// Smallest k (1-based) with u < cdf[k-1]; the walk in geomFromUniform
 	// checks the same predicate in ascending order, so the results agree.
-	// The simulator's dependency-distance means are small (most draws land
-	// in the first few entries), so scan a short prefix sequentially before
-	// binary-searching the tail.
+	// The guide table starts the scan at the first candidate for u's bucket,
+	// so the expected scan length is O(1) for any mean.
 	cdf := g.cdf
-	const prefix = 8
-	for i := 0; i < prefix && i < len(cdf); i++ {
-		if cdf[i] > u {
-			return i + 1
-		}
+	i := int(g.guide[int(u*guideBuckets)])
+	for i < len(cdf) && cdf[i] <= u {
+		i++
 	}
-	lo, hi := prefix, len(cdf)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if cdf[mid] > u {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	if lo >= len(cdf) {
+	if i >= len(cdf) {
 		return 4096
 	}
-	return lo + 1
+	return i + 1
 }
 
 // Pick returns an index in [0, len(weights)) with probability proportional

@@ -1,0 +1,135 @@
+package sample
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dcra/internal/config"
+	"dcra/internal/cpu"
+	"dcra/internal/policy"
+	"dcra/internal/trace"
+)
+
+func testMachine(t *testing.T) *cpu.Machine {
+	t.Helper()
+	m, err := cpu.New(config.Baseline(), []trace.Profile{
+		trace.MustProfile("gzip"), trace.MustProfile("mcf"),
+		trace.MustProfile("eon"), trace.MustProfile("art"),
+	}, policy.NewICount(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{SkipCycles: 1000, FFCycles: 500, Warmup: 100, Measure: 400, Windows: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []Params{
+		{Windows: 4},                // no measure window
+		{Measure: 100},              // no windows
+		{Measure: 100, Windows: -1}, // negative windows
+		{Measure: 100, Windows: 2, FFCycles: 1, FFUops: 1}, // both gap kinds
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("schedule %+v accepted, want error", p)
+		}
+	}
+}
+
+// TestDeriveSpansExactProtocol checks the derived schedule skips the exact
+// warmup and covers the measured interval: last window ends at most one gap
+// rounding short of warmup+measure.
+func TestDeriveSpansExactProtocol(t *testing.T) {
+	for _, proto := range [][2]uint64{{15_000, 60_000}, {50_000, 300_000}, {5_000, 20_000}} {
+		warmup, measure := proto[0], proto[1]
+		p := Derive(warmup, measure)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Derive(%d, %d) invalid: %v", warmup, measure, err)
+		}
+		if p.SkipCycles != warmup {
+			t.Errorf("Derive(%d, %d): SkipCycles = %d, want the exact warmup", warmup, measure, p.SkipCycles)
+		}
+		span := p.SpannedCycles()
+		if total := warmup + measure; span > total || total-span >= uint64(p.Windows) {
+			t.Errorf("Derive(%d, %d): spans %d cycles, want within %d of %d",
+				warmup, measure, span, p.Windows, total)
+		}
+		if p.DetailedCycles() >= measure/2 {
+			t.Errorf("Derive(%d, %d): detailed cost %d is no saving over measure %d",
+				warmup, measure, p.DetailedCycles(), measure)
+		}
+	}
+}
+
+// TestRunDeterminism runs the same schedule on two identically-seeded
+// machines and requires bit-identical summaries, window values included.
+func TestRunDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	p := Derive(5_000, 20_000)
+	a, aggA, err := Run(testMachine(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, aggB, err := Run(testMachine(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed summaries differ:\n%+v\n%+v", a, b)
+	}
+	if !reflect.DeepEqual(aggA, aggB) {
+		t.Fatalf("same-seed aggregate stats differ")
+	}
+}
+
+// TestSummaryInvariants checks the summary's internal consistency: the mean
+// is the mean of the retained windows, intervals scale from the standard
+// error, and the aggregate counts match the schedule.
+func TestSummaryInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	p := Derive(5_000, 20_000)
+	sum, agg, err := Run(testMachine(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.WindowThroughput) != p.Windows {
+		t.Fatalf("retained %d windows, want %d", len(sum.WindowThroughput), p.Windows)
+	}
+	var mean float64
+	for _, w := range sum.WindowThroughput {
+		mean += w
+	}
+	mean /= float64(p.Windows)
+	if sum.Throughput != mean {
+		t.Errorf("Throughput %v != mean of windows %v", sum.Throughput, mean)
+	}
+	tq := tQuantile9985(p.Windows - 1)
+	if got, want := sum.ThroughputCI, tq*sum.ThroughputStdErr; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ThroughputCI %v != t-quantile x stderr %v", got, want)
+	}
+	if sum.MeasuredCycles != uint64(p.Windows)*p.Measure {
+		t.Errorf("MeasuredCycles %d, want %d", sum.MeasuredCycles, uint64(p.Windows)*p.Measure)
+	}
+	if agg.Cycles != sum.MeasuredCycles {
+		t.Errorf("aggregate cycles %d != summary MeasuredCycles %d", agg.Cycles, sum.MeasuredCycles)
+	}
+	if sum.FastForwarded == 0 {
+		t.Error("schedule with gaps fast-forwarded no uops")
+	}
+	var ff uint64
+	for _, ts := range agg.Threads {
+		ff += ts.FastForwarded
+	}
+	if ff != sum.FastForwarded {
+		t.Errorf("per-thread FastForwarded sums to %d, summary says %d", ff, sum.FastForwarded)
+	}
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"dcra/internal/sample"
 	"dcra/internal/sim"
 	"dcra/internal/stats"
 )
@@ -16,6 +17,11 @@ type RunStats struct {
 	Cycles     uint64           `json:"cycles"`
 	Throughput float64          `json:"throughput_ipc"`
 	Threads    []ThreadRunStats `json:"threads"`
+
+	// Sampled carries the SMARTS sampling summary when the static run used
+	// `smtsim -sampled`; Throughput is then the window mean and the Threads
+	// counters aggregate the measured windows only.
+	Sampled *sample.Summary `json:"sampled,omitempty"`
 
 	Sched *sim.SchedSummary `json:"sched,omitempty"`
 	Jobs  []Job             `json:"jobs,omitempty"`

@@ -11,6 +11,7 @@ import (
 	"dcra/internal/cpu"
 	"dcra/internal/metrics"
 	"dcra/internal/policy"
+	"dcra/internal/sample"
 	"dcra/internal/singleflight"
 	"dcra/internal/stats"
 	"dcra/internal/trace"
@@ -35,6 +36,12 @@ type Result struct {
 	// Sched carries open-system scheduler metrics when the cell is a
 	// job-stream trial (internal/sched) rather than a fixed-window run.
 	Sched *SchedSummary `json:"Sched,omitempty"`
+
+	// Sampled carries the SMARTS-style sampling summary (window means,
+	// standard errors, confidence intervals) when the run used the sampled
+	// execution mode; nil for exact runs. For sampled runs, IPCs/Throughput
+	// are the window means and Stats aggregates the measured windows only.
+	Sampled *sample.Summary `json:"Sampled,omitempty"`
 }
 
 // SchedSummary is the open-system slice of a Result: the per-trial metrics
@@ -95,8 +102,9 @@ type Runner struct {
 
 	Pool *MachinePool // optional machine reuse; nil builds fresh machines
 
-	baseline singleflight.Memo[baselineKey, float64]
-	inFlight atomic.Int64
+	baseline        singleflight.Memo[baselineKey, float64]
+	baselineSampled singleflight.Memo[baselineKey, float64]
+	inFlight        atomic.Int64
 }
 
 // NewRunner returns a Runner with the default windows used throughout the
@@ -179,6 +187,67 @@ func (r *Runner) RunWorkload(cfg config.Config, w workload.Workload, mk PolicyFa
 	return res, nil
 }
 
+// SamplePlan resolves the sampling schedule for cfg under this runner's
+// protocol: an explicit cfg.Sampling block wins, otherwise the schedule is
+// derived from the runner's exact warmup/measure windows, so quick and full
+// protocols scale their sampled counterparts consistently.
+func (r *Runner) SamplePlan(cfg config.Config) sample.Params {
+	if cfg.Sampling.Enabled() {
+		return sample.FromConfig(cfg.Sampling)
+	}
+	return sample.Derive(r.Warmup, r.Measure)
+}
+
+// RunMachineSampled is RunMachine's sampled-mode counterpart: it draws a
+// machine and executes the SMARTS schedule instead of the single
+// warmup+measure window. The returned stats aggregate the measured windows.
+func (r *Runner) RunMachineSampled(cfg config.Config, profiles []trace.Profile, pol cpu.Policy) (*cpu.Machine, *sample.Summary, *stats.Stats, error) {
+	snap := r.beginRun()
+	defer r.endRun(snap)
+	m, err := r.Pool.Get(cfg, profiles, pol, r.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sum, agg, err := sample.Run(m, r.SamplePlan(cfg))
+	if err != nil {
+		r.Pool.Put(m)
+		return nil, nil, nil, err
+	}
+	return m, sum, agg, nil
+}
+
+// RunWorkloadSampled executes one workload in sampled mode and computes the
+// same metric set as RunWorkload, with per-thread IPCs and throughput taken
+// from the window means. Hmean and weighted speedup divide by *sampled*
+// single-thread baselines (SingleIPCSampled): sampled mode is self-contained
+// — a sampled sweep never pays for a full-length exact run, which would
+// otherwise dominate its cost — and both metric axes carry the same
+// estimator. Exact cells remain the verifier for absolute numbers; the
+// parity harness compares throughput, which baselines do not touch.
+func (r *Runner) RunWorkloadSampled(cfg config.Config, w workload.Workload, mk PolicyFactory) (Result, error) {
+	pol := mk()
+	m, sum, agg, err := r.RunMachineSampled(cfg, w.Profiles(), pol)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: sampled workload %s under %s: %w", w.ID(), pol.Name(), err)
+	}
+	r.Recycle(m)
+	res := Result{Workload: w, Policy: pol.Name(), Stats: agg, Sampled: sum}
+	res.IPCs = make([]float64, len(w.Names))
+	single := make([]float64, len(w.Names))
+	for i := range w.Names {
+		res.IPCs[i] = sum.IPC[i]
+		s, err := r.SingleIPCSampled(cfg, w.Names[i])
+		if err != nil {
+			return Result{}, err
+		}
+		single[i] = s
+	}
+	res.Throughput = sum.Throughput
+	res.Hmean = metrics.Hmean(res.IPCs, single)
+	res.WSpeedup = metrics.WeightedSpeedup(res.IPCs, single)
+	return res, nil
+}
+
 // SingleIPC returns the single-thread IPC of a benchmark on cfg, simulating
 // it on first use and caching thereafter. Baselines use ICOUNT (with one
 // thread every non-partitioning policy behaves identically). Concurrent
@@ -195,6 +264,20 @@ func (r *Runner) SingleIPC(cfg config.Config, name string) (float64, error) {
 		ipc := m.Stats().Threads[0].IPC(m.Stats().Cycles)
 		r.Recycle(m)
 		return ipc, nil
+	})
+}
+
+// SingleIPCSampled is SingleIPC's sampled-mode counterpart: the same
+// single-thread ICOUNT baseline measured with the runner's sampling schedule
+// (window-mean IPC) instead of the full exact window, cached separately.
+func (r *Runner) SingleIPCSampled(cfg config.Config, name string) (float64, error) {
+	return r.baselineSampled.Do(baselineKey{cfg: cfg, name: name}, func() (float64, error) {
+		m, sum, _, err := r.RunMachineSampled(cfg, []trace.Profile{trace.MustProfile(name)}, policy.NewICount())
+		if err != nil {
+			return 0, fmt.Errorf("sim: sampled baseline %s: %w", name, err)
+		}
+		r.Recycle(m)
+		return sum.IPC[0], nil
 	})
 }
 

@@ -31,6 +31,35 @@ type ThreadStats struct {
 	DispatchStalls uint64 // dispatch attempts blocked by resource shortage
 
 	Flushes uint64 // FLUSH-policy squash events
+
+	// FastForwarded counts uops advanced functionally (Machine.FastForward)
+	// rather than through the detailed pipeline. They are not Committed:
+	// IPC and throughput remain detailed-window quantities.
+	FastForwarded uint64
+}
+
+// add accumulates o's counters into t (window merging for sampled runs).
+func (t *ThreadStats) add(o *ThreadStats) {
+	t.Fetched += o.Fetched
+	t.WrongPath += o.WrongPath
+	t.Dispatched += o.Dispatched
+	t.Issued += o.Issued
+	t.Committed += o.Committed
+	t.Squashed += o.Squashed
+	t.Branches += o.Branches
+	t.BranchMispred += o.BranchMispred
+	t.MispredDir += o.MispredDir
+	t.MispredTarget += o.MispredTarget
+	t.Loads += o.Loads
+	t.Stores += o.Stores
+	t.L1DMisses += o.L1DMisses
+	t.L2DMisses += o.L2DMisses
+	t.L1IMisses += o.L1IMisses
+	t.TLBMisses += o.TLBMisses
+	t.FetchStalled += o.FetchStalled
+	t.DispatchStalls += o.DispatchStalls
+	t.Flushes += o.Flushes
+	t.FastForwarded += o.FastForwarded
 }
 
 // IPC returns committed uops per cycle for this thread.
@@ -79,6 +108,21 @@ type Stats struct {
 // New returns a Stats sized for the given number of threads.
 func New(threads int) *Stats {
 	return &Stats{Threads: make([]ThreadStats, threads)}
+}
+
+// Accumulate adds o's counters into s — used by the sampling controller to
+// merge the K measured windows of a run into one aggregate Stats. Thread
+// counts must match (both come from the same machine).
+func (s *Stats) Accumulate(o *Stats) {
+	s.Cycles += o.Cycles
+	s.MLPSum += o.MLPSum
+	s.MLPCycles += o.MLPCycles
+	for i := range s.PhasePairCycles {
+		s.PhasePairCycles[i] += o.PhasePairCycles[i]
+	}
+	for i := range s.Threads {
+		s.Threads[i].add(&o.Threads[i])
+	}
 }
 
 // TotalCommitted returns the sum of committed uops over all threads.

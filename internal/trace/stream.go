@@ -47,6 +47,17 @@ type Stream struct {
 	// across streams; see rng.NewGeomDist).
 	depDist   *rng.GeomDist
 	phaseDist *rng.GeomDist
+
+	// classTab memoises classAt per static instruction (0xff = unfilled):
+	// the class is a pure function of (pc, siteSeed), and both the
+	// generator and the fast-forward walk consult it for every uop.
+	classTab []uint8
+
+	// mixTotal caches rng.Pick's positive-weight sums for the two
+	// working-set mixtures ([0] fast, [1] slow), so the per-access address
+	// draw skips the accumulation pass. Summation order matches Pick's, so
+	// draws stay bit-identical.
+	mixTotal [2]float64
 }
 
 // Region indices within the working-set mixture.
@@ -114,6 +125,27 @@ func (s *Stream) init(p Profile, threadID int, seed uint64) {
 	s.slow = base.Bool(p.SlowFrac)
 	s.depDist = rng.NewGeomDist(p.MeanDep)
 	s.phaseDist = rng.NewGeomDist(p.PhaseLen)
+	if n := p.CodeBytes / 4; cap(s.classTab) >= n {
+		s.classTab = s.classTab[:n]
+	} else {
+		s.classTab = make([]uint8, n)
+	}
+	for i := range s.classTab {
+		s.classTab[i] = 0xff
+	}
+	s.mixTotal[0] = pickTotal(p.FastMix[:])
+	s.mixTotal[1] = pickTotal(p.SlowMix[:])
+}
+
+// pickTotal accumulates the positive weights exactly like rng.Pick.
+func pickTotal(weights []float64) float64 {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	return total
 }
 
 // Profile returns the profile the stream was built from.
@@ -177,6 +209,75 @@ func (s *Stream) Release(idx uint64) {
 	}
 }
 
+// SkipUop synthesises the uop at the frontier into u and advances past it
+// without retaining it. It performs exactly the draws generate does — phase
+// process, PC walk, addresses, branch directions, operand dependences — so
+// the canonical stream is preserved bit-for-bit: uop N has identical content
+// whether it was fast-forwarded or detail-executed, and the uops a
+// measurement window fetches after a gap match what an uninterrupted run
+// would have fetched. (A cheaper variant that skipped the dependence draws
+// the pipeline never reads during warming was measured to bias sampled IPC
+// low by ~1-2% across the Figure 5 sweep — window content decorrelates from
+// the exact run's — so fast-forward pays for the full draw sequence and
+// saves only the retention: no buffer append, no compaction, no At/Release
+// bookkeeping.)
+//
+// Skipped indices are consumed — they can never be re-fetched, so SkipUop
+// requires every earlier uop to have been released.
+func (s *Stream) SkipUop(u *isa.Uop) {
+	if s.base != s.next {
+		panic(fmt.Sprintf("trace: SkipUop with retained uops [%d,%d)", s.base, s.next))
+	}
+	p := &s.prof
+
+	s.phaseLeft--
+	if s.phaseLeft <= 0 {
+		s.slow = s.rg.Bool(p.SlowFrac)
+		s.phaseLeft = s.phaseDist.Sample(s.rg)
+	}
+
+	*u = isa.Uop{Index: s.next, PC: s.pc}
+
+	switch s.classAt(s.pc) {
+	case isa.OpLoad:
+		s.genLoad(u)
+	case isa.OpStore:
+		s.genStore(u)
+	case isa.OpBranch:
+		s.genBranch(u)
+	case isa.OpFPALU:
+		u.Class = isa.OpFPALU
+		s.genDeps(u)
+	case isa.OpFPMul:
+		u.Class = isa.OpFPMul
+		s.genDeps(u)
+	case isa.OpIntMul:
+		u.Class = isa.OpIntMul
+		s.genDeps(u)
+	default:
+		u.Class = isa.OpIntALU
+		s.genDeps(u)
+	}
+
+	if u.Class == isa.OpBranch && u.Taken {
+		s.pc = u.Target
+	} else {
+		s.pc += 4
+		if s.pc >= s.codeBase+uint64(p.CodeBytes) {
+			s.pc = s.codeBase
+		}
+	}
+
+	if u.Class == isa.OpLoad {
+		s.sinceLoad = 0
+	} else if s.sinceLoad < 1<<14 {
+		s.sinceLoad++
+	}
+
+	s.base++
+	s.next++
+}
+
 // classAt returns the op class of the static instruction at pc. The
 // synthetic program is *static code with dynamic data*: the class (and the
 // per-site branch bias, target, chase behaviour, FP-ness of a load) is a
@@ -185,6 +286,22 @@ func (s *Stream) Release(idx uint64) {
 // loops re-execute the same instructions, which in turn is what lets the
 // I-cache, BTB and gshare behave as they do on real programs.
 func (s *Stream) classAt(pc uint64) isa.OpClass {
+	slot := -1
+	if i := (pc - s.codeBase) >> 2; i < uint64(len(s.classTab)) {
+		if c := s.classTab[i]; c != 0xff {
+			return isa.OpClass(c)
+		}
+		slot = int(i)
+	}
+	c := s.classAtSlow(pc)
+	if slot >= 0 {
+		s.classTab[slot] = uint8(c)
+	}
+	return c
+}
+
+// classAtSlow computes the class from the site hash (see classAt).
+func (s *Stream) classAtSlow(pc uint64) isa.OpClass {
 	p := &s.prof
 	h := mix64(pc ^ s.siteSeed ^ 0x51a71c)
 	x := float64(h&0xfffff) / float64(1<<20)
@@ -324,12 +441,29 @@ func (s *Stream) genFP(u *isa.Uop) {
 }
 
 // dataAddr draws an effective address from the phase's working-set mixture.
+// The region pick inlines rng.Pick with the cached weight total; the
+// arithmetic (and therefore every draw) is identical.
 func (s *Stream) dataAddr() uint64 {
-	mix := s.prof.FastMix
+	mix, total := &s.prof.FastMix, s.mixTotal[0]
 	if s.slow {
-		mix = s.prof.SlowMix
+		mix, total = &s.prof.SlowMix, s.mixTotal[1]
 	}
-	r := s.rg.Pick(mix[:])
+	r := len(mix) - 1
+	if total <= 0 {
+		r = 0
+	} else {
+		x := s.rg.Float64() * total
+		for i, w := range mix {
+			if w <= 0 {
+				continue
+			}
+			if x < w {
+				r = i
+				break
+			}
+			x -= w
+		}
+	}
 	base, size := s.regBase[r], s.regSize[r]
 	var addr uint64
 	if s.rg.Bool(s.prof.StrideFrac) {

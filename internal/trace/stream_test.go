@@ -277,3 +277,49 @@ func TestGeometricDepDistances(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSkipUopMatchesGenerate pins fast-forward's core invariant: skipping a
+// uop yields bit-identical content to generating it, and a stream that
+// alternates between the two paths stays on the canonical sequence.
+func TestSkipUopMatchesGenerate(t *testing.T) {
+	for _, name := range []string{"gzip", "mcf", "gcc", "art"} {
+		ref := NewStream(MustProfile(name), 0, 99)
+		mixed := NewStream(MustProfile(name), 0, 99)
+		idx := uint64(0)
+		var u isa.Uop
+		for round := 0; round < 50; round++ {
+			// A stretch of retained generation, fully released...
+			for i := 0; i < 137; i++ {
+				got := *mixed.At(idx)
+				if want := *ref.At(idx); got != want {
+					t.Fatalf("%s: At mismatch at %d: %+v vs %+v", name, idx, got, want)
+				}
+				idx++
+				mixed.Release(idx)
+			}
+			// ...then a stretch of skip-mode advancement.
+			for i := 0; i < 211; i++ {
+				mixed.SkipUop(&u)
+				if want := *ref.At(idx); u != want {
+					t.Fatalf("%s: SkipUop mismatch at %d: %+v vs %+v", name, idx, u, want)
+				}
+				idx++
+			}
+			ref.Release(idx)
+		}
+	}
+}
+
+// TestSkipUopRequiresReleasedPrefix pins the precondition: skipping with
+// retained (unreleased) uops must panic rather than silently desync.
+func TestSkipUopRequiresReleasedPrefix(t *testing.T) {
+	s := NewStream(MustProfile("gzip"), 0, 7)
+	s.At(10) // retain a window
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SkipUop with retained uops must panic")
+		}
+	}()
+	var u isa.Uop
+	s.SkipUop(&u)
+}
