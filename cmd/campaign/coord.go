@@ -1,0 +1,267 @@
+// The coordinated campaign subcommands: `coordinate` serves leases over
+// HTTP and renders when the store is complete; `work` pulls leases,
+// simulates cells and streams results home.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"dcra/internal/campaign"
+	"dcra/internal/coord"
+	"dcra/internal/coord/faults"
+	"dcra/internal/experiments"
+)
+
+func cmdCoordinate(args []string) {
+	fs := flag.NewFlagSet("campaign coordinate", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", ":8123", "HTTP listen address")
+		exp        = fs.String("exp", "", "experiment key (tab1,fig2,... — see EXPERIMENTS.md)")
+		storeDir   = fs.String("store", "", "persistent result store directory")
+		csvDir     = fs.String("csv", "", "CSV artifact directory (default <store>/csv)")
+		rangeSize  = fs.Int("range", 0, "cells per lease (0 = default)")
+		ttl        = fs.Duration("ttl", 0, "lease TTL; a lease with no heartbeat for this long is reclaimed (0 = default)")
+		retries    = fs.Int("retries", 0, "per-cell retry budget before a cell is declared missing (0 = default)")
+		backoff    = fs.Duration("backoff", 0, "base retry backoff, doubled per attempt (0 = default)")
+		backoffMax = fs.Duration("backoff-max", 0, "retry backoff cap (0 = default)")
+		speculate  = fs.Duration("speculate", 0, "re-dispatch a straggling lease to a second worker after this long (0 = default)")
+		deadline   = fs.Duration("deadline", 0, "campaign deadline; on expiry drain leases and render what completed (0 = none)")
+		grace      = fs.Duration("grace", 30*time.Second, "drain grace: how long to wait for in-flight leases on deadline/SIGTERM")
+		checkpoint = fs.String("checkpoint", "", "coordinator checkpoint file (default <store>/coordinator.json)")
+		seed       = fs.Uint64("seed", 1, "backoff jitter seed")
+		sflags     = addSuiteFlags(fs)
+	)
+	fs.Parse(args)
+
+	spec, err := experiments.SpecByKey(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	if *storeDir == "" {
+		fatal(fmt.Errorf("coordinate needs -store (the rendered campaign must survive the process)"))
+	}
+	if *csvDir == "" {
+		*csvDir = filepath.Join(*storeDir, "csv")
+	}
+	if *checkpoint == "" {
+		*checkpoint = filepath.Join(*storeDir, "coordinator.json")
+	}
+	s := sflags.suite()
+	st, err := campaign.Open(*storeDir, s.StoreParams())
+	if err != nil {
+		fatal(err)
+	}
+	s.Store = st
+	sweep := experiments.ApplyMode(spec.Sweep(), s.Mode)
+
+	logger := log.New(os.Stderr, "coordinate: ", log.LstdFlags)
+	co, err := coord.New(spec.Key, sweep, st, coord.Options{
+		RangeSize:      *rangeSize,
+		LeaseTTL:       *ttl,
+		RetryBudget:    *retries,
+		BackoffBase:    *backoff,
+		BackoffMax:     *backoffMax,
+		SpeculateAfter: *speculate,
+		Seed:           *seed,
+		Checkpoint:     *checkpoint,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: coord.NewHTTPHandler(co)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	status := co.Status()
+	logger.Printf("serving %s on %s: %d/%d cells already in store",
+		spec.Key, ln.Addr(), status.Done, status.Total)
+
+	// Wait for completion, the deadline, or a shutdown signal. On deadline
+	// or signal the coordinator degrades gracefully: stop issuing leases,
+	// give in-flight leases a grace period to stream home, then render
+	// whatever subset completed and report the missing cells explicitly.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	var timeout <-chan time.Time
+	if *deadline > 0 {
+		timeout = time.After(*deadline)
+	}
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	drained := false
+wait:
+	for {
+		select {
+		case <-tick.C:
+			if co.Status().Complete() {
+				break wait
+			}
+		case <-timeout:
+			logger.Printf("deadline reached, draining (grace %s)", *grace)
+			drained = true
+			co.Drain()
+			co.WaitIdle(*grace)
+			break wait
+		case s := <-sig:
+			logger.Printf("%s received, draining (grace %s)", s, *grace)
+			drained = true
+			co.Drain()
+			co.WaitIdle(*grace)
+			break wait
+		case err := <-serveErr:
+			fatal(fmt.Errorf("coordinator HTTP server: %w", err))
+		}
+	}
+	// Let workers see StateDone/Cancel before the listener goes away, then
+	// stop accepting. Lingering workers just observe a dead coordinator and
+	// retry into their retry window — the campaign state is already safe.
+	if !drained {
+		co.Drain()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+
+	status = co.Status()
+	missing := co.Missing()
+	logger.Printf("campaign %s: %d/%d cells complete, %d missing, %d retries",
+		spec.Key, status.Done, status.Total, len(missing), status.Retries)
+	if len(missing) > 0 {
+		for _, c := range missing {
+			fmt.Fprintf(os.Stderr, "coordinate: missing %s (out of retry budget or deadline)\n", c)
+		}
+		fatal(fmt.Errorf("%d of %d cells missing; store %s holds the completed subset (re-run to resume)",
+			len(missing), status.Total, *storeDir))
+	}
+
+	// Every cell is home: render strictly from the store. RequireStore turns
+	// any hole (a cell raced out from under us, a quarantined corrupt file)
+	// into a hard error instead of a silent local resimulation.
+	s.RequireStore = true
+	tables, err := spec.Render(s)
+	if err != nil {
+		if errors.Is(err, experiments.ErrMissingCell) {
+			fatal(fmt.Errorf("store lost cells between completion and render: %w", err))
+		}
+		fatal(err)
+	}
+	for _, rt := range tables {
+		rt.Table.Render(os.Stdout)
+	}
+	paths, err := experiments.WriteCSVs(*csvDir, tables)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range paths {
+		fmt.Printf("campaign: wrote %s\n", p)
+	}
+	fmt.Printf("campaign: %s: %d cells rendered from store (%d retries during campaign)\n",
+		spec.Key, status.Total, status.Retries)
+}
+
+// coordinatorStatus queries a live coordinator and renders its progress
+// report; `campaign status -coordinator URL`. Exits 1 while the campaign is
+// incomplete, so scripts can poll it.
+func coordinatorStatus(url string) {
+	t := &coord.HTTPTransport{Base: url}
+	s, err := t.Status()
+	if err != nil {
+		fatal(fmt.Errorf("querying coordinator %s: %w", url, err))
+	}
+	fmt.Printf("campaign: %s (sweep %s, warmup %d, measure %d): %d/%d cells done, %d leased, %d pending, %d exhausted, %d retries\n",
+		s.Campaign, s.SweepHash, s.Params.Warmup, s.Params.Measure,
+		s.Done, s.Total, s.Leased, s.Pending, s.Exhausted, s.Retries)
+	if s.Draining {
+		fmt.Println("  coordinator is draining: no new leases")
+	}
+	for _, l := range s.Leases {
+		fmt.Printf("  lease %s -> %s cells [%d,%d) age %dms expires %dms\n",
+			l.LeaseID, l.Worker, l.Range[0], l.Range[1], l.AgeMs, l.ExpireMs)
+	}
+	for _, key := range s.MissingKeys {
+		fmt.Printf("  exhausted %s\n", key)
+	}
+	if !s.Complete() {
+		os.Exit(1)
+	}
+}
+
+func cmdWork(args []string) {
+	fs := flag.NewFlagSet("campaign work", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL, e.g. http://host:8123")
+		id          = fs.String("id", "", "worker name (default host:pid)")
+		faultSpec   = fs.String("fault", "", "fault to self-inject, for chaos drills: kind[:after=N][:delay=D] (kinds: "+faults.KindList()+")")
+		retryWindow = fs.Duration("retry-window", 0, "keep retrying an unreachable coordinator this long before giving up (0 = default)")
+	)
+	fs.Parse(args)
+	if *coordinator == "" {
+		fatal(fmt.Errorf("work needs -coordinator URL"))
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	w := &coord.Worker{
+		ID:        *id,
+		Transport: &coord.HTTPTransport{Base: *coordinator},
+		// The grant carries the campaign's measurement protocol, so workers
+		// need no -quick/-warmup/-measure flags: they adopt whatever the
+		// coordinator's store was opened with. Cells carry their own
+		// execution mode, so sampled campaigns need no worker flag either.
+		NewRunner: func(p campaign.Params) (campaign.Runner, error) {
+			s := experiments.NewSuite()
+			s.Runner.Warmup = p.Warmup
+			s.Runner.Measure = p.Measure
+			s.Runner.Seed = p.Seed
+			return s, nil
+		},
+		RetryWindow: *retryWindow,
+	}
+	if *faultSpec != "" {
+		f, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		in := faults.NewInjector(f, nil)
+		w.Hooks = in.Hooks()
+		w.Transport = in.Wrap(w.Transport)
+		fmt.Fprintf(os.Stderr, "work: %s: injecting fault %s\n", *id, f)
+	}
+
+	err := w.Run()
+	fmt.Fprintf(os.Stderr, "work: %s: %d cells computed, %d reported missing by coordinator\n",
+		*id, w.Cells, w.Missing)
+	if errors.Is(err, coord.ErrKilled) {
+		// The injected crash: die abruptly, mid-lease, without a Fail call —
+		// exactly what a SIGKILLed or OOM-killed worker looks like.
+		fmt.Fprintf(os.Stderr, "work: %s: killed by injected fault\n", *id)
+		os.Exit(137)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if w.Missing > 0 {
+		os.Exit(1)
+	}
+}

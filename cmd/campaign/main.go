@@ -19,6 +19,17 @@
 // (enforceable with -require-store). All invocations of one campaign must
 // agree on the measurement protocol (-quick/-warmup/-measure); the store
 // manifest and shard headers refuse mismatches.
+//
+// The coordinated mode replaces hand-run shards with a fleet service:
+//
+//	campaign coordinate -addr :8123 -exp fig5 -store DIR   # lease server
+//	campaign work -coordinator http://host:8123            # any number, anywhere
+//	campaign status -coordinator http://host:8123          # live progress
+//
+// The coordinator leases cell ranges to workers, reclaims leases whose
+// heartbeats lapse, retries failed cells with backoff, checkpoints its retry
+// state for crash-safe resumption, and renders the experiment once every
+// cell has streamed home. See EXPERIMENTS.md ("Distributed campaigns").
 package main
 
 import (
@@ -46,20 +57,28 @@ func main() {
 		cmdRender(os.Args[2:])
 	case "gc":
 		cmdGC(os.Args[2:])
+	case "coordinate":
+		cmdCoordinate(os.Args[2:])
+	case "work":
+		cmdWork(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status|render|gc> [flags]
+	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status|render|gc|coordinate|work> [flags]
 
-  run    -exp KEY [-quick] [-warmup N -measure N] [-store DIR]
-         [-shards N -shard I -out FILE] [-require-store]
-  merge  -store DIR shard.json...
-  status -exp KEY -store DIR
-  render -exp KEY [-csv DIR] [-store DIR] [protocol flags] [-require-store]
-  gc     -store DIR [-dry-run]`)
+  run        -exp KEY [-quick] [-warmup N -measure N] [-store DIR]
+             [-shards N -shard I -out FILE] [-require-store]
+  merge      -store DIR shard.json...
+  status     -exp KEY -store DIR | -coordinator URL
+  render     -exp KEY [-csv DIR] [-store DIR] [protocol flags] [-require-store]
+  gc         -store DIR [-dry-run]
+  coordinate -addr HOST:PORT -exp KEY -store DIR [protocol flags]
+             [-range N -ttl D -retries N -backoff D -backoff-max D]
+             [-speculate D -deadline D -grace D -checkpoint FILE -seed N]
+  work       -coordinator URL [-id NAME] [-fault SPEC] [-retry-window D]`)
 	os.Exit(2)
 }
 
@@ -206,21 +225,37 @@ func cmdMerge(args []string) {
 	if *storeDir == "" || len(paths) == 0 {
 		fatal(fmt.Errorf("merge needs -store and at least one shard file"))
 	}
-	// The store adopts the shards' protocol; Merge re-verifies every file
-	// against it, so mixed-protocol shards are refused.
-	first, err := campaign.ReadShard(paths[0])
+	// The store adopts the protocol of the first readable shard; Merge
+	// re-verifies every file against it, so mixed-protocol shards are refused.
+	var params campaign.Params
+	adopted := false
+	for _, p := range paths {
+		sf, err := campaign.ReadShard(p)
+		if err == nil {
+			params, adopted = sf.Params, true
+			break
+		}
+	}
+	if !adopted {
+		fatal(fmt.Errorf("none of the %d shard files are readable", len(paths)))
+	}
+	st, err := campaign.Open(*storeDir, params)
 	if err != nil {
 		fatal(err)
 	}
-	st, err := campaign.Open(*storeDir, first.Params)
+	n, skipped, err := campaign.Merge(st, paths)
+	for _, sk := range skipped {
+		fmt.Fprintf(os.Stderr, "campaign: skipped unreadable shard %s: %v\n", sk.Path, sk.Err)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	n, err := campaign.Merge(st, paths)
-	if err != nil {
-		fatal(err)
+	fmt.Printf("campaign: merged %d cells from %d shard files into %s (%d skipped)\n",
+		n, len(paths), *storeDir, len(skipped))
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: merge is incomplete; re-run the skipped shards and merge again\n")
+		os.Exit(1)
 	}
-	fmt.Printf("campaign: merged %d cells from %d shard files into %s\n", n, len(paths), *storeDir)
 }
 
 // cmdRender renders one experiment's tables and additionally writes each as
@@ -302,17 +337,22 @@ func cmdGC(args []string) {
 func cmdStatus(args []string) {
 	fs := flag.NewFlagSet("campaign status", flag.ExitOnError)
 	var (
-		exp      = fs.String("exp", "", "experiment key")
-		storeDir = fs.String("store", "", "persistent result store directory")
-		sampled  = fs.Bool("sampled", false, "count the sampled variant of the sweep")
+		exp         = fs.String("exp", "", "experiment key")
+		storeDir    = fs.String("store", "", "persistent result store directory")
+		coordinator = fs.String("coordinator", "", "live coordinator URL to query instead of a store")
+		sampled     = fs.Bool("sampled", false, "count the sampled variant of the sweep")
 	)
 	fs.Parse(args)
+	if *coordinator != "" {
+		coordinatorStatus(*coordinator)
+		return
+	}
 	spec, err := experiments.SpecByKey(*exp)
 	if err != nil {
 		fatal(err)
 	}
 	if *storeDir == "" {
-		fatal(fmt.Errorf("status needs -store"))
+		fatal(fmt.Errorf("status needs -store or -coordinator"))
 	}
 	st, err := campaign.OpenExisting(*storeDir)
 	if err != nil {

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -221,7 +222,7 @@ func TestStoreDoSingleFlightAndPersistence(t *testing.T) {
 	}
 }
 
-func TestStoreGetRejectsMismatchedCellFile(t *testing.T) {
+func TestStoreGetQuarantinesCorruptCells(t *testing.T) {
 	dir := t.TempDir()
 	st, err := Open(dir, Params{})
 	if err != nil {
@@ -240,8 +241,33 @@ func TestStoreGetRejectsMismatchedCellFile(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "cells", b.Key()+".json"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := st.Get(b); err == nil {
-		t.Fatal("Get accepted a cell file holding a different cell")
+	if _, ok, err := st.Get(b); err != nil || ok {
+		t.Fatalf("Get on mismatched cell file: ok=%v err=%v, want quarantined miss", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cells", b.Key()+".corrupt")); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if st.Has(b) {
+		t.Fatal("Has still sees the quarantined cell")
+	}
+
+	// A truncated cell file is likewise quarantined as a miss.
+	if err := os.WriteFile(filepath.Join(dir, "cells", a.Key()+".json"), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(a); err != nil || ok {
+		t.Fatalf("Get on truncated cell file: ok=%v err=%v, want quarantined miss", ok, err)
+	}
+	if got := st.Quarantined(); got != 2 {
+		t.Fatalf("Quarantined() = %d, want 2", got)
+	}
+
+	// A fresh Put heals the slot: the quarantined twin no longer shadows it.
+	if err := st.Put(a, fakeResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok, err := st.Get(a); err != nil || !ok || r.Throughput != fakeResult(2).Throughput {
+		t.Fatalf("healed slot: ok=%v err=%v r=%+v", ok, err, r)
 	}
 }
 
@@ -281,9 +307,12 @@ func TestShardFileRoundTripAndMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := Merge(st, files)
+	n, skipped, err := Merge(st, files)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("clean merge skipped %d shards", len(skipped))
 	}
 	if n != len(sweep.Cells) {
 		t.Fatalf("merged %d cells, want %d", n, len(sweep.Cells))
@@ -294,7 +323,7 @@ func TestShardFileRoundTripAndMerge(t *testing.T) {
 	}
 
 	// Duplicate shard indices are refused.
-	if _, err := Merge(st, []string{files[0], files[0]}); err == nil {
+	if _, _, err := Merge(st, []string{files[0], files[0]}); err == nil {
 		t.Fatal("merge accepted the same shard twice")
 	}
 	// A corrupted cell key is refused at read time.
@@ -317,8 +346,91 @@ func TestShardFileRoundTripAndMerge(t *testing.T) {
 	if err := WriteShard(otherPath, other); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Merge(st, []string{otherPath}); err == nil {
+	if _, _, err := Merge(st, []string{otherPath}); err == nil {
 		t.Fatal("merge accepted a shard measured under a different protocol")
+	}
+}
+
+// TestMergeSkipsTruncatedShards is the crash-recovery path: a worker died
+// mid-write leaving a truncated shard file, but the other shards must still
+// merge, with the damage reported rather than aborting the whole merge.
+func TestMergeSkipsTruncatedShards(t *testing.T) {
+	dir := t.TempDir()
+	params := Params{Warmup: 10, Measure: 20, Seed: 30}
+	sweep := testSweep(6)
+
+	var files []string
+	cellsPerShard := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		part, err := sweep.Shard(i, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf := ShardFile{
+			Campaign: sweep.Name, SweepHash: sweep.Hash(),
+			Shards: 3, Shard: i, Params: params,
+		}
+		for j, c := range part {
+			sf.Cells = append(sf.Cells, CellResult{Key: c.Key(), Cell: c, Result: fakeResult(float64(i*10 + j + 1))})
+		}
+		cellsPerShard[i] = len(sf.Cells)
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		if err := WriteShard(path, sf); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+
+	// Truncate shard 1 mid-file, as a crashed writer without atomic rename
+	// would have left it.
+	raw, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[1], raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := Open(filepath.Join(dir, "store"), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, skipped, err := Merge(st, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cellsPerShard[0] + cellsPerShard[2]; n != want {
+		t.Fatalf("merged %d cells, want %d from the readable shards", n, want)
+	}
+	if len(skipped) != 1 || skipped[0].Path != files[1] || skipped[0].Err == nil {
+		t.Fatalf("skipped = %+v, want exactly the truncated shard", skipped)
+	}
+	present, missing := st.Count(sweep)
+	if present != cellsPerShard[0]+cellsPerShard[2] || len(missing) != cellsPerShard[1] {
+		t.Fatalf("store holds %d cells with %d missing", present, len(missing))
+	}
+
+	// Restoring the shard and re-merging fills the holes (idempotent merge).
+	if err := os.WriteFile(files[1], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, skipped, err := Merge(st, files); err != nil || len(skipped) != 0 {
+		t.Fatalf("re-merge after repair: skipped=%d err=%v", len(skipped), err)
+	}
+	if present, missing := st.Count(sweep); present != len(sweep.Cells) || len(missing) != 0 {
+		t.Fatalf("store holds %d cells with %d missing after repair", present, len(missing))
+	}
+
+	// A merge where nothing is readable fails loudly.
+	empty, err := Open(filepath.Join(dir, "empty"), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Merge(empty, []string{filepath.Join(dir, "junk.json")}); err == nil {
+		t.Fatal("merge with zero readable shards succeeded")
 	}
 }
 

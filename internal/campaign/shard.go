@@ -61,50 +61,73 @@ func ReadShard(path string) (ShardFile, error) {
 	return sf, nil
 }
 
+// SkippedShard records one shard file Merge could not read: truncated,
+// garbled JSON, or a recorded cell key that no longer matches its cell.
+type SkippedShard struct {
+	Path string
+	Err  error
+}
+
 // Merge reads the named shard files, verifies they belong to one campaign
 // (same name, sweep hash, shard count and params, distinct shard indices)
 // and writes every cell result into the store. It returns the merged cell
 // count. Merging is idempotent: re-merging a shard overwrites each cell with
 // the identical bytes.
-func Merge(st *Store, paths []string) (int, error) {
+//
+// Unreadable shard files — truncated by a crashed worker, corrupted in
+// transit — are skipped and reported rather than aborting the merge: the
+// readable shards land, `campaign status` shows the holes, and re-running
+// the bad shard fills them. Semantic mismatches (a shard from a different
+// campaign, sweep, split or protocol, or a duplicated shard index) still
+// abort: those are caller mistakes that would merge wrong numbers into
+// right-looking tables, not recoverable damage.
+func Merge(st *Store, paths []string) (int, []SkippedShard, error) {
 	if len(paths) == 0 {
-		return 0, fmt.Errorf("campaign: nothing to merge")
+		return 0, nil, fmt.Errorf("campaign: nothing to merge")
 	}
-	var first ShardFile
-	seen := make(map[int]string)
-	merged := 0
-	for i, path := range paths {
+	var (
+		first    ShardFile
+		haveBase bool
+		skipped  []SkippedShard
+		seen     = make(map[int]string)
+		merged   = 0
+	)
+	for _, path := range paths {
 		sf, err := ReadShard(path)
 		if err != nil {
-			return merged, err
+			skipped = append(skipped, SkippedShard{Path: path, Err: err})
+			continue
 		}
-		if i == 0 {
-			first = sf
+		if !haveBase {
+			first, haveBase = sf, true
 		} else {
 			switch {
 			case sf.Campaign != first.Campaign:
-				return merged, fmt.Errorf("campaign: %s is campaign %q, %s is %q", paths[0], first.Campaign, path, sf.Campaign)
+				return merged, skipped, fmt.Errorf("campaign: %s is campaign %q, %s is %q", seen[first.Shard], first.Campaign, path, sf.Campaign)
 			case sf.SweepHash != first.SweepHash:
-				return merged, fmt.Errorf("campaign: %s and %s enumerate different sweeps (%s vs %s)", paths[0], path, first.SweepHash, sf.SweepHash)
+				return merged, skipped, fmt.Errorf("campaign: %s and %s enumerate different sweeps (%s vs %s)", seen[first.Shard], path, first.SweepHash, sf.SweepHash)
 			case sf.Shards != first.Shards:
-				return merged, fmt.Errorf("campaign: %s splits %d ways, %s splits %d", paths[0], first.Shards, path, sf.Shards)
+				return merged, skipped, fmt.Errorf("campaign: %s splits %d ways, %s splits %d", seen[first.Shard], first.Shards, path, sf.Shards)
 			case sf.Params != first.Params:
-				return merged, fmt.Errorf("campaign: %s and %s were measured under different protocols", paths[0], path)
+				return merged, skipped, fmt.Errorf("campaign: %s and %s were measured under different protocols", seen[first.Shard], path)
 			}
 		}
 		if sf.Params != st.Params() {
-			return merged, fmt.Errorf("campaign: shard %s was measured with %+v, store expects %+v", path, sf.Params, st.Params())
+			return merged, skipped, fmt.Errorf("campaign: shard %s was measured with %+v, store expects %+v", path, sf.Params, st.Params())
 		}
 		if prev, dup := seen[sf.Shard]; dup {
-			return merged, fmt.Errorf("campaign: %s and %s are both shard %d", prev, path, sf.Shard)
+			return merged, skipped, fmt.Errorf("campaign: %s and %s are both shard %d", prev, path, sf.Shard)
 		}
 		seen[sf.Shard] = path
 		for _, cr := range sf.Cells {
 			if err := st.Put(cr.Cell, cr.Result); err != nil {
-				return merged, err
+				return merged, skipped, err
 			}
 			merged++
 		}
 	}
-	return merged, nil
+	if !haveBase {
+		return 0, skipped, fmt.Errorf("campaign: none of the %d shard files were readable", len(paths))
+	}
+	return merged, skipped, nil
 }

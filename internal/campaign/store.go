@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"dcra/internal/sim"
 	"dcra/internal/singleflight"
@@ -39,9 +40,10 @@ const storeVersion = 1
 // being simulated or read twice within a process and serves repeat lookups
 // from memory.
 type Store struct {
-	dir    string
-	params Params
-	flight singleflight.Memo[string, sim.Result]
+	dir         string
+	params      Params
+	flight      singleflight.Memo[string, sim.Result]
+	quarantined atomic.Int64
 }
 
 // Open opens (or initialises) the store at dir for the given protocol
@@ -102,6 +104,10 @@ func (st *Store) cellPath(key string) string {
 }
 
 // Get returns the stored result for c, reporting whether it was present.
+// A corrupt cell file — truncated or garbled JSON (a crashed disk, a torn
+// copy), or a file holding a different cell (key collision, hand-edit) — is
+// quarantined to <key>.corrupt and reported as a miss, so one bad file costs
+// one resimulation instead of failing the whole render.
 func (st *Store) Get(c Cell) (sim.Result, bool, error) {
 	key := c.Key()
 	data, err := os.ReadFile(st.cellPath(key))
@@ -113,13 +119,29 @@ func (st *Store) Get(c Cell) (sim.Result, bool, error) {
 	}
 	var sc CellResult
 	if err := json.Unmarshal(data, &sc); err != nil {
-		return sim.Result{}, false, fmt.Errorf("campaign: parsing cell %s: %w", c, err)
+		return sim.Result{}, false, st.quarantine(key, fmt.Sprintf("parsing cell %s: %v", c, err))
 	}
 	if sc.Cell != c {
-		return sim.Result{}, false, fmt.Errorf("campaign: cell file %s holds %s, wanted %s", key, sc.Cell, c)
+		return sim.Result{}, false, st.quarantine(key, fmt.Sprintf("cell file %s holds %s, wanted %s", key, sc.Cell, c))
 	}
 	return sc.Result, true, nil
 }
+
+// quarantine moves a corrupt cell file aside (its .corrupt twin no longer
+// matches *.json, so Has and Keys miss it and the next Put heals the slot)
+// and counts the event. The returned error is nil unless the rename itself
+// failed — a miss, not a fatal condition.
+func (st *Store) quarantine(key, reason string) error {
+	if err := os.Rename(st.cellPath(key), filepath.Join(st.dir, "cells", key+".corrupt")); err != nil {
+		return fmt.Errorf("campaign: quarantining corrupt cell %s (%s): %w", key, reason, err)
+	}
+	st.quarantined.Add(1)
+	return nil
+}
+
+// Quarantined returns how many corrupt cell files this store has moved
+// aside since opening.
+func (st *Store) Quarantined() int64 { return st.quarantined.Load() }
 
 // Has reports whether the store holds a result for c without reading it.
 func (st *Store) Has(c Cell) bool {

@@ -1,0 +1,535 @@
+// Package coord is the campaign control plane: a coordinator leases
+// contiguous cell ranges of one experiment's sweep to worker processes,
+// tracks lease heartbeats against deadlines, reclaims and re-leases expired
+// or failed ranges with exponential backoff and seeded jitter under a
+// per-cell retry budget, re-dispatches stragglers speculatively, and streams
+// completed cells into the campaign store as they arrive. Coordinator state
+// is checkpointed to disk so a killed coordinator resumes exactly where it
+// left off: completion is re-derived from the store itself (the durable
+// record), retry accounting from the checkpoint, and lost leases simply
+// expire into re-leases.
+//
+// Everything is duplicate-safe by construction. The store's content-keyed
+// atomic Put makes double-completion idempotent, so speculative re-dispatch,
+// late completions from expired leases and coordinator restarts can only
+// waste work, never corrupt results: a coordinated campaign's store is
+// bit-identical to a single-process run (asserted by the chaos tests).
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dcra/internal/campaign"
+	"dcra/internal/rng"
+)
+
+// Clock abstracts wall time so tests can compress lease TTLs and backoff
+// windows; the zero value of every consumer uses the real clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// Options tune the coordinator. The zero value gets sensible defaults.
+type Options struct {
+	// RangeSize is the number of cells per lease (default 8).
+	RangeSize int
+	// LeaseTTL is the heartbeat deadline: a lease not heartbeated for this
+	// long is reclaimed and its incomplete cells re-leased (default 15s).
+	LeaseTTL time.Duration
+	// RetryBudget is the per-cell attempt budget: a cell whose leases have
+	// failed or expired this many times is given up on and reported missing
+	// (default 5).
+	RetryBudget int
+	// BackoffBase/BackoffMax bound the exponential backoff applied to a
+	// range after each failure: base*2^(attempt-1), jittered to [50%,150%]
+	// by the seeded RNG, capped at max (defaults 500ms, 30s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// SpeculateAfter re-dispatches stragglers: when an idle worker asks for
+	// work and no range is pending, a range whose sole lease has been out
+	// longer than this is leased a second time (default 2*LeaseTTL).
+	SpeculateAfter time.Duration
+	// PollInterval is the retry hint handed to workers when nothing is
+	// leasable right now (default 500ms).
+	PollInterval time.Duration
+	// Seed fixes the backoff jitter stream (default 1).
+	Seed uint64
+	// Clock defaults to the wall clock; chaos tests compress time.
+	Clock Clock
+	// Checkpoint is the path retry accounting is persisted to after every
+	// state change; empty disables checkpointing (restart then resets retry
+	// budgets but still resumes completion from the store).
+	Checkpoint string
+	// Logf, when set, receives one line per control-plane event (lease,
+	// expiry, rejection, ...).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RangeSize <= 0 {
+		o.RangeSize = 8
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 500 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 30 * time.Second
+	}
+	if o.SpeculateAfter <= 0 {
+		o.SpeculateAfter = 2 * o.LeaseTTL
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = realClock{}
+	}
+	return o
+}
+
+// cellState tracks one cell's lifecycle.
+type cellState struct {
+	cell      campaign.Cell
+	key       string
+	done      bool
+	attempts  int
+	exhausted bool
+}
+
+// rangeState tracks one contiguous lease unit of the canonical cell order.
+type rangeState struct {
+	start, end int
+	attempts   int       // failed leases so far, drives backoff
+	notBefore  time.Time // backoff gate; zero = leasable now
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id       string
+	worker   string
+	r        int
+	cells    []int // indices incomplete at issue time
+	issued   time.Time
+	deadline time.Time
+}
+
+// Coordinator runs one campaign. All methods are safe for concurrent use;
+// the HTTP handler and the in-process loopback call them directly.
+type Coordinator struct {
+	opts     Options
+	name     string
+	hash     string
+	store    *campaign.Store
+	cellByKy map[string]int
+
+	mu       sync.Mutex
+	cells    []cellState
+	ranges   []rangeState
+	leases   map[string]*lease
+	leaseSeq int
+	jitter   *rng.Source
+	draining bool
+	done     int
+	exhaust  int
+	retries  int
+}
+
+// New builds a coordinator for one experiment sweep over the given store.
+// The sweep's distinct cells, in enumeration order, form the canonical cell
+// order ranges are cut from — deterministic, so a restarted coordinator cuts
+// identical ranges. Cells already in the store count as done immediately
+// (resumption, or a partially merged earlier campaign); a checkpoint file at
+// opts.Checkpoint, if present, must describe the same campaign and restores
+// retry accounting.
+func New(name string, sweep campaign.Sweep, st *campaign.Store, opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:     opts,
+		name:     name,
+		hash:     sweep.Hash(),
+		store:    st,
+		cellByKy: make(map[string]int),
+		leases:   make(map[string]*lease),
+		jitter:   rng.New(opts.Seed ^ 0xc00d),
+	}
+	seen := make(map[campaign.Cell]struct{}, len(sweep.Cells))
+	for _, cell := range sweep.Cells {
+		if _, dup := seen[cell]; dup {
+			continue
+		}
+		seen[cell] = struct{}{}
+		cs := cellState{cell: cell, key: cell.Key(), done: st.Has(cell)}
+		if cs.done {
+			c.done++
+		}
+		c.cellByKy[cs.key] = len(c.cells)
+		c.cells = append(c.cells, cs)
+	}
+	if len(c.cells) == 0 {
+		return nil, fmt.Errorf("coord: campaign %s has no cells", name)
+	}
+	for start := 0; start < len(c.cells); start += opts.RangeSize {
+		end := min(start+opts.RangeSize, len(c.cells))
+		c.ranges = append(c.ranges, rangeState{start: start, end: end})
+	}
+	if err := c.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	c.logf("campaign %s (%s): %d cells in %d ranges, %d already complete",
+		name, c.hash, len(c.cells), len(c.ranges), c.done)
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// now returns the coordinator clock's current time.
+func (c *Coordinator) now() time.Time { return c.opts.Clock.Now() }
+
+// reapLocked expires overdue leases, re-queueing their incomplete cells.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, l := range c.leases {
+		if l.deadline.After(now) {
+			continue
+		}
+		delete(c.leases, id)
+		c.failLeaseLocked(l, now, "lease expired")
+	}
+}
+
+// failLeaseLocked charges a dead lease's incomplete cells one attempt each
+// and puts the range behind an exponential-backoff gate.
+func (c *Coordinator) failLeaseLocked(l *lease, now time.Time, why string) {
+	incomplete := 0
+	for _, i := range l.cells {
+		cs := &c.cells[i]
+		if cs.done || cs.exhausted {
+			continue
+		}
+		incomplete++
+		cs.attempts++
+		if cs.attempts >= c.opts.RetryBudget {
+			cs.exhausted = true
+			c.exhaust++
+			c.logf("cell %s exhausted its retry budget (%d attempts)", cs.cell, cs.attempts)
+		}
+	}
+	r := &c.ranges[l.r]
+	r.attempts++
+	backoff := c.backoffLocked(r.attempts)
+	r.notBefore = now.Add(backoff)
+	c.retries++
+	c.logf("lease %s (%s, range %d, %d cells left): %s; range backs off %v",
+		l.id, l.worker, l.r, incomplete, why, backoff)
+	c.saveCheckpointLocked()
+}
+
+// backoffLocked computes the jittered exponential backoff for an attempt.
+func (c *Coordinator) backoffLocked(attempt int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 1; i < attempt && d < c.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	d = min(d, c.opts.BackoffMax)
+	// Jitter to [50%, 150%] so reclaimed ranges don't re-lease in lockstep.
+	return d/2 + time.Duration(c.jitter.Float64()*float64(d))
+}
+
+// pendingLocked returns r's incomplete, unexhausted cell indices.
+func (c *Coordinator) pendingLocked(r rangeState) []int {
+	var idx []int
+	for i := r.start; i < r.end; i++ {
+		if !c.cells[i].done && !c.cells[i].exhausted {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// leaseCountLocked counts active leases per range index.
+func (c *Coordinator) leaseCountLocked() map[int]int {
+	counts := make(map[int]int, len(c.leases))
+	for _, l := range c.leases {
+		counts[l.r]++
+	}
+	return counts
+}
+
+// Lease hands out the next leasable range: the first range with incomplete
+// cells, no active lease and an elapsed backoff gate. When none is pending,
+// a straggler range (sole lease older than SpeculateAfter) is speculatively
+// double-leased; otherwise the worker is told to wait or, when every cell is
+// done or given up on (or the coordinator is draining), to exit.
+func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+
+	if c.draining || c.done+c.exhaust == len(c.cells) {
+		return LeaseResponse{State: StateDone, Missing: len(c.cells) - c.done}
+	}
+
+	counts := c.leaseCountLocked()
+	for ri, r := range c.ranges {
+		if counts[ri] > 0 || r.notBefore.After(now) {
+			continue
+		}
+		if idx := c.pendingLocked(r); len(idx) > 0 {
+			return c.grantLocked(req.Worker, ri, idx, r.attempts, now)
+		}
+	}
+
+	// Nothing pending: speculate on the oldest straggler not already
+	// double-leased. First completion wins; the store makes the loser's
+	// results harmless duplicates.
+	var straggler *lease
+	for _, l := range c.leases {
+		if counts[l.r] != 1 || now.Sub(l.issued) < c.opts.SpeculateAfter {
+			continue
+		}
+		if len(c.pendingLocked(c.ranges[l.r])) == 0 {
+			continue
+		}
+		if straggler == nil || l.issued.Before(straggler.issued) {
+			straggler = l
+		}
+	}
+	if straggler != nil && straggler.worker != req.Worker {
+		r := c.ranges[straggler.r]
+		c.logf("straggler: range %d leased to %s for %v, re-dispatching to %s",
+			straggler.r, straggler.worker, c.now().Sub(straggler.issued), req.Worker)
+		return c.grantLocked(req.Worker, straggler.r, c.pendingLocked(r), r.attempts, now)
+	}
+
+	return LeaseResponse{State: StateWait, RetryMs: c.opts.PollInterval.Milliseconds()}
+}
+
+// grantLocked issues one lease over the given cell indices.
+func (c *Coordinator) grantLocked(worker string, ri int, idx []int, attempt int, now time.Time) LeaseResponse {
+	c.leaseSeq++
+	l := &lease{
+		id:       fmt.Sprintf("%s-%d", worker, c.leaseSeq),
+		worker:   worker,
+		r:        ri,
+		cells:    idx,
+		issued:   now,
+		deadline: now.Add(c.opts.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	g := &Grant{
+		LeaseID:   l.id,
+		Campaign:  c.name,
+		SweepHash: c.hash,
+		Params:    c.store.Params(),
+		Range:     [2]int{c.ranges[ri].start, c.ranges[ri].end},
+		Attempt:   attempt,
+		TTLMs:     c.opts.LeaseTTL.Milliseconds(),
+	}
+	for _, i := range idx {
+		g.Cells = append(g.Cells, c.cells[i].cell)
+	}
+	c.logf("lease %s: range %d [%d,%d) -> %s (%d cells, attempt %d)",
+		l.id, ri, g.Range[0], g.Range[1], worker, len(g.Cells), attempt)
+	return LeaseResponse{State: StateLease, Grant: g}
+}
+
+// Heartbeat extends a live lease's deadline.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+	l, ok := c.leases[req.LeaseID]
+	if !ok {
+		return HeartbeatResponse{OK: false}
+	}
+	l.deadline = now.Add(c.opts.LeaseTTL)
+	// Cancel leases whose remaining work evaporated (a speculative twin or a
+	// late completion finished the cells) and all leases while draining.
+	cancel := c.draining
+	if !cancel {
+		cancel = true
+		for _, i := range l.cells {
+			if !c.cells[i].done && !c.cells[i].exhausted {
+				cancel = false
+				break
+			}
+		}
+	}
+	return HeartbeatResponse{OK: true, Cancel: cancel}
+}
+
+// Complete verifies and stores a completion payload. Integrity is checked
+// twice: the payload digest must match (in-flight corruption) and every
+// cell's recorded key must match its recomputed content key and belong to
+// this campaign (wrong-campaign or hand-edited payloads). Valid completions
+// are accepted even from expired or unknown leases — the work is done and
+// the store write is idempotent, so late and duplicate arrivals are kept,
+// never wasted.
+func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+
+	if got := PayloadSum(req.Cells); got != req.Sum {
+		c.logf("rejecting completion from %s (lease %s): payload digest %s, sealed %s",
+			req.Worker, req.LeaseID, got, req.Sum)
+		return CompleteResponse{Reason: "payload digest mismatch"}
+	}
+	for _, cr := range req.Cells {
+		if got := cr.Cell.Key(); got != cr.Key {
+			return CompleteResponse{Reason: fmt.Sprintf("cell %s recorded under key %s (recomputed %s)", cr.Cell, cr.Key, got)}
+		}
+		if _, ok := c.cellByKy[cr.Key]; !ok {
+			return CompleteResponse{Reason: fmt.Sprintf("cell %s is not part of campaign %s", cr.Cell, c.name)}
+		}
+	}
+	for _, cr := range req.Cells {
+		i := c.cellByKy[cr.Key]
+		cs := &c.cells[i]
+		if cs.done {
+			continue // duplicate (speculation or late completion): idempotent
+		}
+		if err := c.store.Put(cr.Cell, cr.Result); err != nil {
+			return CompleteResponse{Reason: fmt.Sprintf("storing cell: %v", err)}
+		}
+		cs.done = true
+		if cs.exhausted {
+			// A late completion rescued a given-up cell.
+			cs.exhausted = false
+			c.exhaust--
+		}
+		c.done++
+	}
+	if req.Done {
+		delete(c.leases, req.LeaseID)
+	}
+	return CompleteResponse{OK: true}
+}
+
+// Fail surrenders a lease: its incomplete cells are charged an attempt and
+// re-queued behind the range's backoff gate.
+func (c *Coordinator) Fail(req FailRequest) FailResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+	if l, ok := c.leases[req.LeaseID]; ok {
+		delete(c.leases, req.LeaseID)
+		c.failLeaseLocked(l, now, "worker failed: "+req.Reason)
+	}
+	return FailResponse{OK: true}
+}
+
+// Status reports live progress.
+func (c *Coordinator) Status() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	c.reapLocked(now)
+
+	resp := StatusResponse{
+		Campaign:  c.name,
+		SweepHash: c.hash,
+		Params:    c.store.Params(),
+		Total:     len(c.cells),
+		Done:      c.done,
+		Exhausted: c.exhaust,
+		Retries:   c.retries,
+		Draining:  c.draining,
+	}
+	leased := make(map[int]bool)
+	for _, l := range c.leases {
+		for _, i := range l.cells {
+			leased[i] = true
+		}
+		resp.Leases = append(resp.Leases, LeaseInfo{
+			LeaseID:  l.id,
+			Worker:   l.worker,
+			Range:    [2]int{c.ranges[l.r].start, c.ranges[l.r].end},
+			AgeMs:    now.Sub(l.issued).Milliseconds(),
+			ExpireMs: l.deadline.Sub(now).Milliseconds(),
+		})
+	}
+	for i, cs := range c.cells {
+		switch {
+		case cs.done:
+		case cs.exhausted:
+			if len(resp.MissingKeys) < 20 {
+				resp.MissingKeys = append(resp.MissingKeys, cs.key)
+			}
+		case leased[i]:
+			resp.Leased++
+		default:
+			resp.Pending++
+		}
+	}
+	return resp
+}
+
+// Drain stops the coordinator handing out work: subsequent lease requests
+// answer StateDone and heartbeats ask their workers to abandon. In-flight
+// completions are still accepted, so WaitIdle can harvest what finishes
+// within the grace window.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.draining {
+		c.draining = true
+		c.logf("draining: no further leases; %d/%d cells complete", c.done, len(c.cells))
+	}
+}
+
+// WaitIdle blocks until no leases are outstanding (their workers completed,
+// failed or expired) or the grace period elapses.
+func (c *Coordinator) WaitIdle(grace time.Duration) {
+	deadline := c.now().Add(grace)
+	for {
+		c.mu.Lock()
+		c.reapLocked(c.now())
+		idle := len(c.leases) == 0
+		c.mu.Unlock()
+		if idle || !c.now().Before(deadline) {
+			return
+		}
+		c.opts.Clock.Sleep(min(50*time.Millisecond, grace/10+time.Millisecond))
+	}
+}
+
+// Missing returns the cells not in the store, in canonical order.
+func (c *Coordinator) Missing() []campaign.Cell {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var missing []campaign.Cell
+	for _, cs := range c.cells {
+		if !cs.done {
+			missing = append(missing, cs.cell)
+		}
+	}
+	return missing
+}

@@ -1,0 +1,70 @@
+package coord
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrUnreachable is what a Loopback returns while its coordinator is down,
+// standing in for the HTTP transport's connection-refused errors.
+var ErrUnreachable = errors.New("coord: coordinator unreachable")
+
+// Loopback is the in-process Transport: calls go straight to a coordinator,
+// no sockets, no serialization. The target is swappable — Swap(nil) takes
+// the coordinator "down", Swap(next) brings a restarted one up — so chaos
+// tests model coordinator crashes and restarts inside a single `go test`
+// process. It implements the same Transport interface as HTTPTransport,
+// which is the seam the fault harness wraps.
+type Loopback struct {
+	c atomic.Pointer[Coordinator]
+}
+
+// NewLoopback wires a loopback transport to c.
+func NewLoopback(c *Coordinator) *Loopback {
+	l := &Loopback{}
+	l.c.Store(c)
+	return l
+}
+
+// Swap repoints the transport; nil simulates a dead coordinator.
+func (l *Loopback) Swap(c *Coordinator) { l.c.Store(c) }
+
+func (l *Loopback) Lease(req LeaseRequest) (LeaseResponse, error) {
+	c := l.c.Load()
+	if c == nil {
+		return LeaseResponse{}, ErrUnreachable
+	}
+	return c.Lease(req), nil
+}
+
+func (l *Loopback) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error) {
+	c := l.c.Load()
+	if c == nil {
+		return HeartbeatResponse{}, ErrUnreachable
+	}
+	return c.Heartbeat(req), nil
+}
+
+func (l *Loopback) Complete(req CompleteRequest) (CompleteResponse, error) {
+	c := l.c.Load()
+	if c == nil {
+		return CompleteResponse{}, ErrUnreachable
+	}
+	return c.Complete(req), nil
+}
+
+func (l *Loopback) Fail(req FailRequest) (FailResponse, error) {
+	c := l.c.Load()
+	if c == nil {
+		return FailResponse{}, ErrUnreachable
+	}
+	return c.Fail(req), nil
+}
+
+func (l *Loopback) Status() (StatusResponse, error) {
+	c := l.c.Load()
+	if c == nil {
+		return StatusResponse{}, ErrUnreachable
+	}
+	return c.Status(), nil
+}

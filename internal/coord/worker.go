@@ -1,0 +1,187 @@
+package coord
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dcra/internal/campaign"
+)
+
+// ErrKilled is returned by a fault-injection hook to simulate a hard worker
+// crash: the worker exits mid-lease without failing or surrendering it, so
+// only the coordinator's heartbeat deadline can reclaim the work.
+var ErrKilled = errors.New("coord: worker killed (injected fault)")
+
+// RunnerFactory builds the cell evaluator for a campaign's measurement
+// protocol. Workers carry no protocol flags of their own: the first lease
+// tells them the campaign's warmup/measure/seed and the factory builds a
+// matching runner (the CLI builds an experiments.Suite; tests use doubles).
+type RunnerFactory func(p campaign.Params) (campaign.Runner, error)
+
+// WorkerHooks are fault-injection points; nil hooks are skipped.
+type WorkerHooks struct {
+	// BeforeCell runs before the worker's n-th cell (counted across leases).
+	// Returning an error aborts the worker as if it crashed: no Fail call,
+	// no cleanup, mirroring a kill -9.
+	BeforeCell func(n int, c campaign.Cell) error
+}
+
+// Worker pulls leases from a coordinator, computes cells and streams each
+// result home as it finishes (so a crash loses at most the cell in flight).
+// A heartbeat goroutine keeps each lease alive while computing. Transport
+// errors — a restarting coordinator — are retried with exponential backoff
+// before giving up.
+type Worker struct {
+	ID        string
+	Transport Transport
+	NewRunner RunnerFactory
+
+	// Clock defaults to the wall clock.
+	Clock Clock
+	// RetryWindow bounds how long consecutive transport failures are
+	// retried before the worker gives up (default 60s).
+	RetryWindow time.Duration
+	// Hooks inject faults; zero value injects nothing.
+	Hooks WorkerHooks
+
+	// Cells counts cells computed; Missing is the coordinator's count of
+	// given-up cells when the campaign ended. Valid after Run returns.
+	Cells   int
+	Missing int
+
+	runner campaign.Runner
+	params campaign.Params
+}
+
+func (w *Worker) clock() Clock {
+	if w.Clock == nil {
+		return realClock{}
+	}
+	return w.Clock
+}
+
+// Run serves the campaign until the coordinator reports it done (returns
+// nil), the transport stays down past RetryWindow, or a fault hook kills the
+// worker.
+func (w *Worker) Run() error {
+	retryWindow := w.RetryWindow
+	if retryWindow <= 0 {
+		retryWindow = 60 * time.Second
+	}
+	var downSince time.Time
+	backoff := 50 * time.Millisecond
+	for {
+		resp, err := w.Transport.Lease(LeaseRequest{Worker: w.ID})
+		if err != nil {
+			now := w.clock().Now()
+			if downSince.IsZero() {
+				downSince = now
+			} else if now.Sub(downSince) > retryWindow {
+				return fmt.Errorf("coord: worker %s: coordinator unreachable for %v: %w", w.ID, now.Sub(downSince), err)
+			}
+			w.clock().Sleep(backoff)
+			backoff = min(2*backoff, 2*time.Second)
+			continue
+		}
+		downSince, backoff = time.Time{}, 50*time.Millisecond
+		switch resp.State {
+		case StateDone:
+			w.Missing = resp.Missing
+			return nil
+		case StateWait:
+			w.clock().Sleep(time.Duration(resp.RetryMs) * time.Millisecond)
+		case StateLease:
+			if err := w.serve(resp.Grant); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("coord: worker %s: unknown lease state %q", w.ID, resp.State)
+		}
+	}
+}
+
+// serve computes one lease's cells. Compute errors and rejected completions
+// surrender the lease (Fail) and return nil — the worker moves on to the
+// next lease; the coordinator owns the retry. Only injected kills propagate.
+func (w *Worker) serve(g *Grant) error {
+	if w.runner == nil || w.params != g.Params {
+		r, err := w.NewRunner(g.Params)
+		if err != nil {
+			return fmt.Errorf("coord: worker %s: building runner for %+v: %w", w.ID, g.Params, err)
+		}
+		w.runner, w.params = r, g.Params
+	}
+
+	// Heartbeat at a third of the TTL until the lease's work is over or the
+	// coordinator cancels it (drain, or a twin finished the range first).
+	cancel := make(chan struct{})
+	stop := make(chan struct{})
+	var once sync.Once
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w.clock().Sleep(g.TTL() / 3)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := w.Transport.Heartbeat(HeartbeatRequest{Worker: w.ID, LeaseID: g.LeaseID})
+			if err == nil && resp.Cancel {
+				once.Do(func() { close(cancel) })
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		hb.Wait()
+	}()
+
+	for i, cell := range g.Cells {
+		select {
+		case <-cancel:
+			return nil
+		default:
+		}
+		if hook := w.Hooks.BeforeCell; hook != nil {
+			if err := hook(w.Cells, cell); err != nil {
+				return err
+			}
+		}
+		r, err := w.runner.RunCell(cell)
+		if err != nil {
+			w.Transport.Fail(FailRequest{Worker: w.ID, LeaseID: g.LeaseID, Reason: err.Error()})
+			return nil
+		}
+		w.Cells++
+		cells := []campaign.CellResult{{Key: cell.Key(), Cell: cell, Result: r}}
+		req := CompleteRequest{
+			Worker:  w.ID,
+			LeaseID: g.LeaseID,
+			Done:    i == len(g.Cells)-1,
+			Cells:   cells,
+			Sum:     PayloadSum(cells),
+		}
+		resp, err := w.Transport.Complete(req)
+		if err != nil {
+			// Transport broke mid-lease: abandon it; undelivered cells are
+			// recomputed under the re-lease.
+			return nil
+		}
+		if !resp.OK {
+			w.Transport.Fail(FailRequest{Worker: w.ID, LeaseID: g.LeaseID, Reason: "completion rejected: " + resp.Reason})
+			return nil
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -120,6 +121,10 @@ func parseResource(name string) (cpu.Resource, error) {
 	return 0, fmt.Errorf("experiments: unknown resource %q", name)
 }
 
+// ErrMissingCell reports that a RequireStore suite was asked for a cell the
+// store does not hold; match with errors.Is.
+var ErrMissingCell = errors.New("cell not in store")
+
 // Suite runs experiments with result memoisation: the same (workload,
 // policy, configuration) run is shared between figures — Figure 5's DCRA
 // runs at the baseline are also Figure 4's and Figure 6's middle points.
@@ -151,6 +156,13 @@ type Suite struct {
 	// cells bypass the persistent store entirely — they neither read the
 	// exact results nor pollute the store with estimates.
 	SchedFFDrain bool
+
+	// RequireStore, with Store set, turns a store miss into ErrMissingCell
+	// instead of simulating the cell. Renders that must reflect exactly what
+	// a campaign computed — a coordinator's partial render after a deadline,
+	// say — use it to fail fast per-experiment rather than quietly spending
+	// hours resimulating holes.
+	RequireStore bool
 
 	memo singleflight.Memo[campaign.Cell, sim.Result]
 
@@ -231,7 +243,13 @@ func (s *Suite) runCell(c campaign.Cell) (sim.Result, error) {
 					return r, nil
 				}
 			}
-			r, computed, err := s.Store.Do(c, func() (sim.Result, error) { return s.computeCell(c) })
+			compute := func() (sim.Result, error) { return s.computeCell(c) }
+			if s.RequireStore {
+				compute = func() (sim.Result, error) {
+					return sim.Result{}, fmt.Errorf("experiments: cell %s: %w", c, ErrMissingCell)
+				}
+			}
+			r, computed, err := s.Store.Do(c, compute)
 			if err == nil {
 				if computed {
 					s.simulated.Add(1)

@@ -137,8 +137,8 @@ func TestShardMergeMatchesUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := campaign.Merge(store, files); err != nil {
-		t.Fatal(err)
+	if _, skipped, err := campaign.Merge(store, files); err != nil || len(skipped) != 0 {
+		t.Fatalf("merge: skipped=%d err=%v", len(skipped), err)
 	}
 	merged.Store = store
 	mergedTables, err := spec.Render(merged)

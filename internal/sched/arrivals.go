@@ -34,26 +34,26 @@ type Arrivals struct {
 	Burst int
 }
 
-// Validate checks the process is well-formed.
+// Validate checks the process is well-formed. Failures wrap ErrConfig.
 func (a Arrivals) Validate() error {
 	switch a.Kind {
 	case Batch:
 	case Open:
 		if a.Gap == 0 {
-			return fmt.Errorf("sched: open arrivals need a non-zero gap")
+			return fmt.Errorf("sched: %w: open arrivals need a non-zero gap (a zero or negative rate offers no jobs)", ErrConfig)
 		}
 	case Bursty:
 		if a.Gap == 0 {
-			return fmt.Errorf("sched: bursty arrivals need a non-zero gap")
+			return fmt.Errorf("sched: %w: bursty arrivals need a non-zero gap (a zero or negative rate offers no jobs)", ErrConfig)
 		}
 		if a.Burst < 1 {
-			return fmt.Errorf("sched: bursty arrivals need burst >= 1")
+			return fmt.Errorf("sched: %w: bursty arrivals need burst >= 1", ErrConfig)
 		}
 	default:
-		return fmt.Errorf("sched: unknown arrival kind %q", a.Kind)
+		return fmt.Errorf("sched: %w: unknown arrival kind %q", ErrConfig, a.Kind)
 	}
 	if a.Jobs < 1 {
-		return fmt.Errorf("sched: arrival process offers %d jobs", a.Jobs)
+		return fmt.Errorf("sched: %w: arrival process offers %d jobs (empty job set)", ErrConfig, a.Jobs)
 	}
 	return nil
 }

@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"dcra/internal/config"
@@ -122,22 +123,27 @@ type Trial struct {
 	Stats *stats.Stats
 }
 
+// ErrConfig tags every trial-validation failure, so callers sweeping over
+// generated configs can distinguish "this trial is malformed" (skip or
+// report it) from simulation failures with errors.Is(err, sched.ErrConfig).
+var ErrConfig = errors.New("invalid trial config")
+
 // validate rejects malformed trial configs before any machine is built.
 func (c *Config) validate() error {
 	if c.Contexts < 1 {
-		return fmt.Errorf("sched: trial needs >= 1 hardware context, got %d", c.Contexts)
+		return fmt.Errorf("sched: %w: trial needs >= 1 hardware context, got %d", ErrConfig, c.Contexts)
 	}
 	if c.Alloc == nil || c.Picker == nil {
-		return fmt.Errorf("sched: trial needs an allocation policy factory and a picker")
+		return fmt.Errorf("sched: %w: trial needs an allocation policy factory and a picker", ErrConfig)
 	}
 	if len(c.Benches) == 0 {
-		return fmt.Errorf("sched: trial needs a non-empty bench pool")
+		return fmt.Errorf("sched: %w: trial needs a non-empty bench pool", ErrConfig)
 	}
 	if c.Budget == 0 {
-		return fmt.Errorf("sched: jobs need a non-zero instruction budget")
+		return fmt.Errorf("sched: %w: jobs need a non-zero instruction budget", ErrConfig)
 	}
 	if c.MaxCycles == 0 {
-		return fmt.Errorf("sched: trial needs a non-zero cycle bound")
+		return fmt.Errorf("sched: %w: trial needs a non-zero cycle bound", ErrConfig)
 	}
 	return c.Arrivals.Validate()
 }

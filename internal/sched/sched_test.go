@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"reflect"
 	"strconv"
 	"strings"
@@ -214,6 +215,9 @@ func TestPickers(t *testing.T) {
 
 // TestConfigValidation guards the error paths.
 func TestConfigValidation(t *testing.T) {
+	// Malformed configs — zero contexts, missing policies, an empty job set,
+	// a zero arrival rate — must fail with the typed ErrConfig so sweep
+	// drivers can tell "this trial is nonsense" from simulation failures.
 	bad := []func(*Config){
 		func(c *Config) { c.Contexts = 0 },
 		func(c *Config) { c.Alloc = nil },
@@ -222,17 +226,28 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Budget = 0 },
 		func(c *Config) { c.MaxCycles = 0 },
 		func(c *Config) { c.Arrivals.Jobs = 0 },
+		func(c *Config) { c.Arrivals.Jobs = -3 },
 		func(c *Config) { c.Arrivals = Arrivals{Kind: "nope", Jobs: 1} },
 		func(c *Config) { c.Arrivals = Arrivals{Kind: Open, Jobs: 1} },
 		func(c *Config) { c.Arrivals = Arrivals{Kind: Bursty, Jobs: 1, Gap: 5} },
-		func(c *Config) { c.Benches = []string{"not-a-bench"} },
 	}
 	for i, mutate := range bad {
 		c := testConfig(FCFS{}, nil)
 		mutate(&c)
-		if _, err := Run(c); err == nil {
+		_, err := Run(c)
+		if err == nil {
 			t.Fatalf("bad config %d accepted", i)
 		}
+		if !errors.Is(err, ErrConfig) {
+			t.Fatalf("bad config %d failed without ErrConfig: %v", i, err)
+		}
+	}
+	// An unknown bench is a data error discovered past validation, not a
+	// config-shape error.
+	c := testConfig(FCFS{}, nil)
+	c.Benches = []string{"not-a-bench"}
+	if _, err := Run(c); err == nil || errors.Is(err, ErrConfig) {
+		t.Fatalf("unknown bench: err = %v, want non-ErrConfig failure", err)
 	}
 }
 
