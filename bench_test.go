@@ -15,6 +15,7 @@ import (
 	"dcra"
 	"dcra/internal/cpu"
 	"dcra/internal/experiments"
+	"dcra/internal/obs"
 	"dcra/internal/sim"
 )
 
@@ -200,8 +201,10 @@ func BenchmarkMachineSetup(b *testing.B) {
 	})
 }
 
-// BenchmarkSimulatorSpeed measures raw simulation throughput (cycles/op).
-func BenchmarkSimulatorSpeed(b *testing.B) {
+// benchMachine builds the 4-thread DCRA machine the simulator-speed
+// benchmarks share, warmed past its cold caches.
+func benchMachine(b *testing.B) *cpu.Machine {
+	b.Helper()
 	m, err := dcra.NewMachine(dcra.BaselineConfig(), []dcra.Profile{
 		dcra.MustProfile("gzip"), dcra.MustProfile("mcf"),
 		dcra.MustProfile("art"), dcra.MustProfile("eon"),
@@ -210,6 +213,77 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 		b.Fatal(err)
 	}
 	m.Run(5_000)
+	return m
+}
+
+// BenchmarkSimulatorSpeed measures raw simulation throughput (cycles/op).
+func BenchmarkSimulatorSpeed(b *testing.B) {
+	m := benchMachine(b)
 	b.ResetTimer()
 	m.Run(uint64(b.N))
+}
+
+// BenchmarkSimulatorSpeedTelemetryOff drives the kernel in probe-sized
+// chunks with every telemetry hook present but disabled (nil instruments,
+// nil tracer): the contract is 0 allocs/op and speed indistinguishable from
+// BenchmarkSimulatorSpeed.
+func BenchmarkSimulatorSpeedTelemetryOff(b *testing.B) {
+	m := benchMachine(b)
+	var (
+		reg    *obs.Registry // nil: disabled
+		tracer *obs.Tracer   // nil: disabled
+	)
+	cells := reg.Counter("bench.chunks")
+	hist := reg.Histogram("bench.chunk.us", obs.DurationBounds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 10_000
+	var done uint64
+	for done < uint64(b.N) {
+		n := min(chunk, uint64(b.N)-done)
+		end := tracer.Span(0, 0, "chunk", "bench")
+		m.Run(n)
+		end()
+		cells.Inc()
+		hist.Observe(int64(n))
+		done += n
+	}
+}
+
+// BenchmarkSimulatorSpeedTelemetryOn runs the identical chunked loop with
+// the always-on layer live — a real registry and a recording tracer, the
+// instrumentation the engine and coordinator attach per cell — and must stay
+// within 2% of BenchmarkSimulatorSpeed (PERFORMANCE.md, "Telemetry
+// overhead"). The per-commit probe is priced separately below: it is an
+// explicit opt-in, never attached by default.
+func BenchmarkSimulatorSpeedTelemetryOn(b *testing.B) {
+	m := benchMachine(b)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	cells := reg.Counter("bench.chunks")
+	hist := reg.Histogram("bench.chunk.us", obs.DurationBounds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const chunk = 10_000
+	var done uint64
+	for done < uint64(b.N) {
+		n := min(chunk, uint64(b.N)-done)
+		end := tracer.Span(0, 0, "chunk", "bench")
+		m.Run(n)
+		end()
+		cells.Inc()
+		hist.Observe(int64(n))
+		done += n
+	}
+}
+
+// BenchmarkSimulatorSpeedProbed prices the opt-in per-commit probe
+// (`smtsim -probe N`, Runner.ProbeInterval): every committed uop crosses the
+// CommitObserver seam, so this is the one telemetry path that is NOT free —
+// expect tens of percent, which is why probing never rides along silently.
+func BenchmarkSimulatorSpeedProbed(b *testing.B) {
+	m := benchMachine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sim.ProbeRun(m, uint64(b.N), 10_000)
 }

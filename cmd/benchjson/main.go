@@ -29,6 +29,8 @@ import (
 type Record struct {
 	GeneratedAt string `json:"generated_at"`
 	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
 	GOMAXPROCS  int    `json:"gomaxprocs"`
 	Workers     int    `json:"workers"`
 
@@ -71,6 +73,8 @@ func main() {
 	rec := Record{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 

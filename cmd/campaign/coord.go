@@ -21,7 +21,21 @@ import (
 	"dcra/internal/coord"
 	"dcra/internal/coord/faults"
 	"dcra/internal/experiments"
+	"dcra/internal/obs"
 )
+
+// writeTrace flushes a recorded span trace to disk; nil means -trace was not
+// given and nothing was recorded.
+func writeTrace(tr *obs.Tracer, path string) {
+	if tr == nil {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "coordinate: writing trace:", err)
+		return
+	}
+	fmt.Printf("campaign: wrote trace %s (%d events)\n", path, tr.Len())
+}
 
 func cmdCoordinate(args []string) {
 	fs := flag.NewFlagSet("campaign coordinate", flag.ExitOnError)
@@ -65,6 +79,16 @@ func cmdCoordinate(args []string) {
 	s.Store = st
 	sweep := experiments.ApplyMode(spec.Sweep(), s.Mode)
 
+	// The coordinator always carries a metrics registry so /metrics serves a
+	// live snapshot; the span tracer (lease lifecycles, worker cell
+	// execution, the final render's engine lanes) only exists under -trace.
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *sflags.trace != "" {
+		tracer = obs.NewTracer()
+	}
+	s.Instrument(reg, tracer)
+
 	logger := log.New(os.Stderr, "coordinate: ", log.LstdFlags)
 	co, err := coord.New(spec.Key, sweep, st, coord.Options{
 		RangeSize:      *rangeSize,
@@ -76,6 +100,8 @@ func cmdCoordinate(args []string) {
 		Seed:           *seed,
 		Checkpoint:     *checkpoint,
 		Logf:           logger.Printf,
+		Obs:            reg,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -146,6 +172,9 @@ wait:
 		for _, c := range missing {
 			fmt.Fprintf(os.Stderr, "coordinate: missing %s (out of retry budget or deadline)\n", c)
 		}
+		// Keep the partial trace: the lease spans of a campaign that ran out
+		// of budget are exactly what a post-mortem wants to look at.
+		writeTrace(tracer, *sflags.trace)
 		fatal(fmt.Errorf("%d of %d cells missing; store %s holds the completed subset (re-run to resume)",
 			len(missing), status.Total, *storeDir))
 	}
@@ -173,6 +202,7 @@ wait:
 	}
 	fmt.Printf("campaign: %s: %d cells rendered from store (%d retries during campaign)\n",
 		spec.Key, status.Total, status.Retries)
+	writeTrace(tracer, *sflags.trace)
 }
 
 // coordinatorStatus queries a live coordinator and renders its progress
@@ -187,6 +217,9 @@ func coordinatorStatus(url string) {
 	fmt.Printf("campaign: %s (sweep %s, warmup %d, measure %d): %d/%d cells done, %d leased, %d pending, %d exhausted, %d retries\n",
 		s.Campaign, s.SweepHash, s.Params.Warmup, s.Params.Measure,
 		s.Done, s.Total, s.Leased, s.Pending, s.Exhausted, s.Retries)
+	if s.Quarantined > 0 {
+		fmt.Printf("  %d corrupt cell files quarantined by the coordinator's store this run\n", s.Quarantined)
+	}
 	if s.Draining {
 		fmt.Println("  coordinator is draining: no new leases")
 	}

@@ -40,6 +40,7 @@ import (
 
 	"dcra/internal/campaign"
 	"dcra/internal/experiments"
+	"dcra/internal/obs"
 )
 
 func main() {
@@ -70,14 +71,16 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status|render|gc|coordinate|work> [flags]
 
   run        -exp KEY [-quick] [-warmup N -measure N] [-store DIR]
-             [-shards N -shard I -out FILE] [-require-store]
+             [-shards N -shard I -out FILE] [-require-store] [-trace FILE]
   merge      -store DIR shard.json...
   status     -exp KEY -store DIR | -coordinator URL
   render     -exp KEY [-csv DIR] [-store DIR] [protocol flags] [-require-store]
+             [-trace FILE]
   gc         -store DIR [-dry-run]
   coordinate -addr HOST:PORT -exp KEY -store DIR [protocol flags]
              [-range N -ttl D -retries N -backoff D -backoff-max D]
              [-speculate D -deadline D -grace D -checkpoint FILE -seed N]
+             [-trace FILE]
   work       -coordinator URL [-id NAME] [-fault SPEC] [-retry-window D]`)
 	os.Exit(2)
 }
@@ -88,6 +91,7 @@ type suiteFlags struct {
 	warmup  *uint64
 	measure *uint64
 	sampled *bool
+	trace   *string
 }
 
 func addSuiteFlags(fs *flag.FlagSet) suiteFlags {
@@ -97,6 +101,29 @@ func addSuiteFlags(fs *flag.FlagSet) suiteFlags {
 		measure: fs.Uint64("measure", 0, "override measured cycles"),
 		sampled: fs.Bool("sampled", false,
 			"SMARTS-style sampled execution for workload cells (bench/sched cells stay exact; renders prefer stored exact results)"),
+		trace: fs.String("trace", "",
+			"write a Chrome trace-event JSON file of the run (load in Perfetto / chrome://tracing)"),
+	}
+}
+
+// instrument attaches telemetry to the suite when -trace is set and returns
+// the function that writes the trace file at the end of the command. Without
+// -trace it attaches nothing — the hot paths stay on their zero-overhead
+// disabled branches — and the returned flush is a no-op. Call after the
+// suite's Store is attached so store telemetry is covered too.
+func (sf suiteFlags) instrument(s *experiments.Suite) (flush func()) {
+	if *sf.trace == "" {
+		return func() {}
+	}
+	tr := obs.NewTracer()
+	s.Instrument(obs.NewRegistry(), tr)
+	path := *sf.trace
+	return func() {
+		if err := tr.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: writing trace:", err)
+			return
+		}
+		fmt.Printf("campaign: wrote trace %s (%d events)\n", path, tr.Len())
 	}
 }
 
@@ -142,6 +169,7 @@ func cmdRun(args []string) {
 		}
 		s.Store = st
 	}
+	flush := sflags.instrument(s)
 	// Sharding enumerates the mode-applied sweep, so a sampled campaign's
 	// shard files carry sampled cells (their own keys) end to end.
 	sweep := experiments.ApplyMode(spec.Sweep(), s.Mode)
@@ -181,6 +209,7 @@ func cmdRun(args []string) {
 		}
 		fmt.Printf("campaign: wrote %d cells to %s (simulated %d, store hits %d)\n",
 			len(sf.Cells), *out, s.Simulated(), s.StoreHits())
+		flush()
 		if *requireStore && s.Simulated() > 0 {
 			fatal(fmt.Errorf("%d cells were simulated but -require-store demands a fully populated store", s.Simulated()))
 		}
@@ -188,6 +217,7 @@ func cmdRun(args []string) {
 	}
 
 	renderExperiment(spec, s, "", *requireStore)
+	flush()
 }
 
 // renderExperiment renders spec's tables to stdout — plus CSV artifacts
@@ -289,7 +319,9 @@ func cmdRender(args []string) {
 		}
 		s.Store = st
 	}
+	flush := sflags.instrument(s)
 	renderExperiment(spec, s, *csvDir, *requireStore)
+	flush()
 }
 
 // cmdGC prunes store cells whose keys no longer appear in any registered
@@ -366,6 +398,9 @@ func cmdStatus(args []string) {
 	p := st.Params()
 	fmt.Printf("campaign: %s (sweep %s, warmup %d, measure %d): %d/%d cells in %s\n",
 		spec.Key, sweep.Hash(), p.Warmup, p.Measure, present, present+len(missing), *storeDir)
+	if n, err := st.CorruptCount(); err == nil && n > 0 {
+		fmt.Printf("  %d corrupt cell files quarantined (*.corrupt under %s)\n", n, *storeDir)
+	}
 	for i, c := range missing {
 		if i == 10 {
 			fmt.Printf("  ... and %d more missing\n", len(missing)-10)

@@ -21,8 +21,10 @@ import (
 	"strings"
 
 	"dcra"
+	"dcra/internal/obs"
 	"dcra/internal/sample"
 	"dcra/internal/sched"
+	"dcra/internal/sim"
 	"dcra/internal/workload"
 )
 
@@ -43,6 +45,8 @@ func main() {
 		list       = flag.Bool("list", false, "list benchmarks and workloads, then exit")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		sampled    = flag.Bool("sampled", false, "SMARTS-style sampled run (schedule derived from -warmup/-cycles)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto / chrome://tracing)")
+		probe      = flag.Uint64("probe", 0, "sample per-thread IPC and ROB occupancy every N measured cycles (exact mode only)")
 	)
 	flag.Parse()
 
@@ -82,13 +86,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+
 	if *sampled {
 		p := sample.Derive(*warmup, *cycles)
-		sum, agg, err := sample.Run(m, p)
+		sum, agg, err := sample.RunObserved(m, p, nil, tracer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "smtsim:", err)
 			os.Exit(1)
 		}
+		flushTrace(tracer, *traceOut)
 		if *jsonOut {
 			rs := sched.StaticRunStats(pol.Name(), names, agg)
 			rs.Throughput = sum.Throughput // window mean, not the aggregate
@@ -106,15 +116,37 @@ func main() {
 
 	m.Run(*warmup)
 	m.ResetStats()
-	m.Run(*cycles)
+	var series *obs.ProbeSeries
+	if *probe > 0 {
+		series = sim.ProbeRun(m, *cycles, *probe)
+	} else {
+		m.Run(*cycles)
+	}
+	if tracer != nil {
+		// One lane in the cycle domain: simulation cycles read as µs in the
+		// viewer, so the same seed always yields the same trace.
+		tracer.Process(0, "smtsim (cycle domain)")
+		tracer.Lane(0, 0, "run")
+		tracer.CompleteAt(0, 0, "warmup", "phase", 0, float64(*warmup))
+		tracer.CompleteAt(0, 0, "measure", "phase", float64(*warmup), float64(*cycles))
+		flushTrace(tracer, *traceOut)
+	}
 
 	st := m.Stats()
 	if *jsonOut {
-		emitJSON(sched.StaticRunStats(pol.Name(), names, st))
+		rs := sched.StaticRunStats(pol.Name(), names, st)
+		rs.Probe = series
+		emitJSON(rs)
 		return
 	}
 	fmt.Printf("policy=%s threads=%v warmup=%d measured=%d\n", pol.Name(), names, *warmup, *cycles)
 	fmt.Print(st)
+	if series != nil {
+		fmt.Printf("probe every %d cycles (%d samples):\n", series.Interval, len(series.Samples))
+		for _, sm := range series.Samples {
+			fmt.Printf("  @%-8d ipc %v rob %v\n", sm.Cycle, formatIPCs(sm.IPC), sm.ROBOcc)
+		}
+	}
 	h := m.Hierarchy()
 	fmt.Printf("caches: L1I %.2f%% | L1D %.2f%% | L2 %.2f%% miss; %d memory fills; TLB %.2f%% miss\n",
 		h.L1I.MissRate(), h.L1D.MissRate(), h.L2.MissRate(), h.MemMisses, h.TLB.MissRate())
@@ -135,6 +167,28 @@ func baselineWithMemLatency(memLatency int) dcra.Config {
 		l2 = cfg.L2.Latency
 	}
 	return cfg.WithMemLatency(memLatency, l2)
+}
+
+// flushTrace writes a recorded span trace; nil tracer means -trace was not
+// given. The confirmation goes to stderr so -json stdout stays parseable.
+func flushTrace(tr *obs.Tracer, path string) {
+	if tr == nil {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "smtsim: writing trace:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "smtsim: wrote trace %s (%d events)\n", path, tr.Len())
+}
+
+// formatIPCs renders a probe sample's per-thread IPCs compactly.
+func formatIPCs(ipcs []float64) string {
+	parts := make([]string, len(ipcs))
+	for i, v := range ipcs {
+		parts[i] = strconv.FormatFloat(v, 'f', 3, 64)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // emitJSON writes the shared RunStats schema to stdout.

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"dcra"
+	"dcra/internal/obs"
 	"dcra/internal/sched"
 )
 
@@ -33,6 +34,8 @@ func serveMain(args []string) {
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of text")
 		ffDrain    = fs.Bool("ff-drain", false,
 			"fast-forward the tail: once all jobs arrived and none queue, drain the last co-schedule functionally (event-log digest is mode-dependent)")
+		traceOut = fs.String("trace", "",
+			"write a Chrome trace-event JSON file: one lane per hardware context, one span per job, in the cycle domain")
 	)
 	fs.Parse(args)
 
@@ -44,6 +47,10 @@ func serveMain(args []string) {
 	var benches []string
 	for _, n := range strings.Split(*benchPool, ",") {
 		benches = append(benches, strings.TrimSpace(n))
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
 	}
 
 	trial, err := sched.Run(sched.Config{
@@ -63,10 +70,12 @@ func serveMain(args []string) {
 		Seed:      *seed,
 		MaxCycles: *maxCycles,
 		FFDrain:   *ffDrain,
+		Tracer:    tracer,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	flushTrace(tracer, *traceOut)
 
 	if *jsonOut {
 		emitJSON(trial.RunStats())

@@ -126,6 +126,8 @@ func Merge(st *Store, paths []string) (int, []SkippedShard, error) {
 			merged++
 		}
 	}
+	st.o.mergeCells.Add(int64(merged))
+	st.o.mergeSkipped.Add(int64(len(skipped)))
 	if !haveBase {
 		return 0, skipped, fmt.Errorf("campaign: none of the %d shard files were readable", len(paths))
 	}

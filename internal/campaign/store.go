@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"dcra/internal/obs"
 	"dcra/internal/sim"
 	"dcra/internal/singleflight"
 )
@@ -44,6 +45,28 @@ type Store struct {
 	params      Params
 	flight      singleflight.Memo[string, sim.Result]
 	quarantined atomic.Int64
+
+	o storeObs
+}
+
+// storeObs holds the store's pre-resolved instruments; the zero value
+// (nil counters) is the disabled state.
+type storeObs struct {
+	puts, getHits, getMisses, quarantines *obs.Counter
+	mergeCells, mergeSkipped              *obs.Counter
+}
+
+// SetObs resolves the store's telemetry counters from reg; never
+// calling it (or passing nil) leaves the store uninstrumented.
+func (st *Store) SetObs(reg *obs.Registry) {
+	st.o = storeObs{
+		puts:         reg.Counter("store.puts"),
+		getHits:      reg.Counter("store.get.hits"),
+		getMisses:    reg.Counter("store.get.misses"),
+		quarantines:  reg.Counter("store.quarantines"),
+		mergeCells:   reg.Counter("store.merge.cells"),
+		mergeSkipped: reg.Counter("store.merge.skipped_shards"),
+	}
 }
 
 // Open opens (or initialises) the store at dir for the given protocol
@@ -112,6 +135,7 @@ func (st *Store) Get(c Cell) (sim.Result, bool, error) {
 	key := c.Key()
 	data, err := os.ReadFile(st.cellPath(key))
 	if errors.Is(err, fs.ErrNotExist) {
+		st.o.getMisses.Inc()
 		return sim.Result{}, false, nil
 	}
 	if err != nil {
@@ -124,6 +148,7 @@ func (st *Store) Get(c Cell) (sim.Result, bool, error) {
 	if sc.Cell != c {
 		return sim.Result{}, false, st.quarantine(key, fmt.Sprintf("cell file %s holds %s, wanted %s", key, sc.Cell, c))
 	}
+	st.o.getHits.Inc()
 	return sc.Result, true, nil
 }
 
@@ -136,12 +161,30 @@ func (st *Store) quarantine(key, reason string) error {
 		return fmt.Errorf("campaign: quarantining corrupt cell %s (%s): %w", key, reason, err)
 	}
 	st.quarantined.Add(1)
+	st.o.quarantines.Inc()
 	return nil
 }
 
 // Quarantined returns how many corrupt cell files this store has moved
 // aside since opening.
 func (st *Store) Quarantined() int64 { return st.quarantined.Load() }
+
+// CorruptCount counts the .corrupt files currently parked in the cells
+// directory — the durable record of every quarantine ever performed on
+// this store, by any process. Quarantined() only sees this process's.
+func (st *Store) CorruptCount() (int, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "cells"))
+	if err != nil {
+		return 0, fmt.Errorf("campaign: listing store cells: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".corrupt") {
+			n++
+		}
+	}
+	return n, nil
+}
 
 // Has reports whether the store holds a result for c without reading it.
 func (st *Store) Has(c Cell) bool {
@@ -158,6 +201,7 @@ func (st *Store) Put(c Cell, r sim.Result) error {
 	if err := writeFileAtomic(st.cellPath(sc.Key), mustJSON(sc)); err != nil {
 		return fmt.Errorf("campaign: writing cell %s: %w", c, err)
 	}
+	st.o.puts.Inc()
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"dcra/internal/campaign"
+	"dcra/internal/obs"
 	"dcra/internal/rng"
 )
 
@@ -74,6 +75,14 @@ type Options struct {
 	// Logf, when set, receives one line per control-plane event (lease,
 	// expiry, rejection, ...).
 	Logf func(format string, args ...any)
+	// Obs, when set, receives control-plane metrics (leases granted/
+	// expired/failed, re-leases, heartbeats, speculative dispatches,
+	// payload verify failures, per-worker cell throughput). The HTTP
+	// handler additionally serves its snapshot at /metrics.
+	Obs *obs.Registry
+	// Tracer, when set, records lease lifecycles and worker-reported
+	// cell execution as Chrome trace-event spans, one lane per worker.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +161,50 @@ type Coordinator struct {
 	done     int
 	exhaust  int
 	retries  int
+
+	o     coordObs
+	lanes map[string]int // trace lane per worker, in first-contact order
+}
+
+// Trace pid lane groups of a coordinator trace: lease lifecycles and
+// worker-reported cell execution, one tid per worker in each group.
+const (
+	TracePIDLeases = 0
+	TracePIDCells  = 1
+)
+
+// coordObs holds the coordinator's pre-resolved instruments; the zero
+// value (nil counters) is the disabled state.
+type coordObs struct {
+	leasesGranted, leasesExpired, leasesFailed, speculated *obs.Counter
+	heartbeats, verifyFailures                             *obs.Counter
+	cellsDone, cellsDuplicate                              *obs.Counter
+	cellUS                                                 *obs.Histogram
+}
+
+// laneForLocked returns worker's stable trace lane, naming it in both
+// pid groups on first contact.
+func (c *Coordinator) laneForLocked(worker string) int {
+	lane, ok := c.lanes[worker]
+	if !ok {
+		lane = len(c.lanes)
+		c.lanes[worker] = lane
+		c.opts.Tracer.Lane(TracePIDLeases, lane, worker)
+		c.opts.Tracer.Lane(TracePIDCells, lane, worker)
+	}
+	return lane
+}
+
+// traceLeaseLocked closes a lease's lifecycle span: issue to now, on
+// the owning worker's lane.
+func (c *Coordinator) traceLeaseLocked(l *lease, now time.Time, outcome string) {
+	tr := c.opts.Tracer
+	if tr == nil {
+		return
+	}
+	name := fmt.Sprintf("lease %s r%d %s", l.id, l.r, outcome)
+	tr.CompleteAt(TracePIDLeases, c.laneForLocked(l.worker), name, "lease",
+		tr.Since(l.issued), float64(now.Sub(l.issued).Microseconds()))
 }
 
 // New builds a coordinator for one experiment sweep over the given store.
@@ -171,7 +224,21 @@ func New(name string, sweep campaign.Sweep, st *campaign.Store, opts Options) (*
 		cellByKy: make(map[string]int),
 		leases:   make(map[string]*lease),
 		jitter:   rng.New(opts.Seed ^ 0xc00d),
+		lanes:    make(map[string]int),
 	}
+	c.o = coordObs{
+		leasesGranted:  opts.Obs.Counter("coord.leases.granted"),
+		leasesExpired:  opts.Obs.Counter("coord.leases.expired"),
+		leasesFailed:   opts.Obs.Counter("coord.leases.failed"),
+		speculated:     opts.Obs.Counter("coord.leases.speculated"),
+		heartbeats:     opts.Obs.Counter("coord.heartbeats"),
+		verifyFailures: opts.Obs.Counter("coord.verify.failures"),
+		cellsDone:      opts.Obs.Counter("coord.cells.done"),
+		cellsDuplicate: opts.Obs.Counter("coord.cells.duplicate"),
+		cellUS:         opts.Obs.Histogram("coord.cell.us", obs.DurationBounds),
+	}
+	opts.Tracer.Process(TracePIDLeases, "coordinator leases")
+	opts.Tracer.Process(TracePIDCells, "worker cells")
 	seen := make(map[campaign.Cell]struct{}, len(sweep.Cells))
 	for _, cell := range sweep.Cells {
 		if _, dup := seen[cell]; dup {
@@ -216,6 +283,8 @@ func (c *Coordinator) reapLocked(now time.Time) {
 			continue
 		}
 		delete(c.leases, id)
+		c.o.leasesExpired.Inc()
+		c.traceLeaseLocked(l, now, "expired")
 		c.failLeaseLocked(l, now, "lease expired")
 	}
 }
@@ -322,6 +391,7 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 		r := c.ranges[straggler.r]
 		c.logf("straggler: range %d leased to %s for %v, re-dispatching to %s",
 			straggler.r, straggler.worker, c.now().Sub(straggler.issued), req.Worker)
+		c.o.speculated.Inc()
 		return c.grantLocked(req.Worker, straggler.r, c.pendingLocked(r), r.attempts, now)
 	}
 
@@ -340,6 +410,7 @@ func (c *Coordinator) grantLocked(worker string, ri int, idx []int, attempt int,
 		deadline: now.Add(c.opts.LeaseTTL),
 	}
 	c.leases[l.id] = l
+	c.o.leasesGranted.Inc()
 	g := &Grant{
 		LeaseID:   l.id,
 		Campaign:  c.name,
@@ -367,6 +438,7 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	if !ok {
 		return HeartbeatResponse{OK: false}
 	}
+	c.o.heartbeats.Inc()
 	l.deadline = now.Add(c.opts.LeaseTTL)
 	// Cancel leases whose remaining work evaporated (a speculative twin or a
 	// late completion finished the cells) and all leases while draining.
@@ -399,20 +471,25 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	if got := PayloadSum(req.Cells); got != req.Sum {
 		c.logf("rejecting completion from %s (lease %s): payload digest %s, sealed %s",
 			req.Worker, req.LeaseID, got, req.Sum)
+		c.o.verifyFailures.Inc()
 		return CompleteResponse{Reason: "payload digest mismatch"}
 	}
 	for _, cr := range req.Cells {
 		if got := cr.Cell.Key(); got != cr.Key {
+			c.o.verifyFailures.Inc()
 			return CompleteResponse{Reason: fmt.Sprintf("cell %s recorded under key %s (recomputed %s)", cr.Cell, cr.Key, got)}
 		}
 		if _, ok := c.cellByKy[cr.Key]; !ok {
+			c.o.verifyFailures.Inc()
 			return CompleteResponse{Reason: fmt.Sprintf("cell %s is not part of campaign %s", cr.Cell, c.name)}
 		}
 	}
-	for _, cr := range req.Cells {
+	for ci, cr := range req.Cells {
 		i := c.cellByKy[cr.Key]
 		cs := &c.cells[i]
+		c.traceCellLocked(req, ci, now)
 		if cs.done {
+			c.o.cellsDuplicate.Inc()
 			continue // duplicate (speculation or late completion): idempotent
 		}
 		if err := c.store.Put(cr.Cell, cr.Result); err != nil {
@@ -425,11 +502,35 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 			c.exhaust--
 		}
 		c.done++
+		c.o.cellsDone.Inc()
+		c.opts.Obs.Counter("coord.worker.cells." + req.Worker).Inc()
 	}
 	if req.Done {
-		delete(c.leases, req.LeaseID)
+		if l, ok := c.leases[req.LeaseID]; ok {
+			c.traceLeaseLocked(l, now, "done")
+			delete(c.leases, req.LeaseID)
+		}
 	}
 	return CompleteResponse{OK: true}
+}
+
+// traceCellLocked records the worker-reported execution span of one
+// completed cell: the worker measured the duration, the coordinator
+// anchors it so the span ends at receipt time. Workers without timings
+// (an older binary) simply yield no cell spans.
+func (c *Coordinator) traceCellLocked(req CompleteRequest, ci int, now time.Time) {
+	if ci >= len(req.CellMs) {
+		return
+	}
+	us := int64(req.CellMs[ci] * 1e3)
+	c.o.cellUS.Observe(us)
+	tr := c.opts.Tracer
+	if tr == nil {
+		return
+	}
+	end := tr.Since(now)
+	tr.CompleteAt(TracePIDCells, c.laneForLocked(req.Worker),
+		"cell "+req.Cells[ci].Cell.String(), "cell", end-float64(us), float64(us))
 }
 
 // Fail surrenders a lease: its incomplete cells are charged an attempt and
@@ -441,6 +542,8 @@ func (c *Coordinator) Fail(req FailRequest) FailResponse {
 	c.reapLocked(now)
 	if l, ok := c.leases[req.LeaseID]; ok {
 		delete(c.leases, req.LeaseID)
+		c.o.leasesFailed.Inc()
+		c.traceLeaseLocked(l, now, "failed")
 		c.failLeaseLocked(l, now, "worker failed: "+req.Reason)
 	}
 	return FailResponse{OK: true}
@@ -454,14 +557,15 @@ func (c *Coordinator) Status() StatusResponse {
 	c.reapLocked(now)
 
 	resp := StatusResponse{
-		Campaign:  c.name,
-		SweepHash: c.hash,
-		Params:    c.store.Params(),
-		Total:     len(c.cells),
-		Done:      c.done,
-		Exhausted: c.exhaust,
-		Retries:   c.retries,
-		Draining:  c.draining,
+		Campaign:    c.name,
+		SweepHash:   c.hash,
+		Params:      c.store.Params(),
+		Total:       len(c.cells),
+		Done:        c.done,
+		Exhausted:   c.exhaust,
+		Retries:     c.retries,
+		Draining:    c.draining,
+		Quarantined: c.store.Quarantined(),
 	}
 	leased := make(map[int]bool)
 	for _, l := range c.leases {
@@ -491,6 +595,10 @@ func (c *Coordinator) Status() StatusResponse {
 	}
 	return resp
 }
+
+// Obs returns the registry the coordinator was built with (nil when
+// uninstrumented); the HTTP handler serves its snapshot at /metrics.
+func (c *Coordinator) Obs() *obs.Registry { return c.opts.Obs }
 
 // Drain stops the coordinator handing out work: subsequent lease requests
 // answer StateDone and heartbeats ask their workers to abandon. In-flight

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 )
@@ -17,6 +18,7 @@ const (
 	pathComplete  = "/v1/complete"
 	pathFail      = "/v1/fail"
 	pathStatus    = "/v1/status"
+	pathMetrics   = "/metrics"
 )
 
 // NewHTTPHandler exposes a coordinator over HTTP: JSON requests in, JSON
@@ -38,6 +40,20 @@ func NewHTTPHandler(c *Coordinator) http.Handler {
 	mux.HandleFunc("GET "+pathStatus, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Status())
 	})
+	// Live introspection: a deterministic JSON snapshot of the
+	// coordinator's metrics registry (an empty object when the
+	// coordinator runs uninstrumented) and the standard pprof surface,
+	// mounted explicitly — the coordinator mux never touches
+	// DefaultServeMux.
+	mux.HandleFunc("GET "+pathMetrics, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		c.Obs().Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 

@@ -81,6 +81,13 @@ type CompleteRequest struct {
 	Done    bool                  `json:"done"`
 	Cells   []campaign.CellResult `json:"cells"`
 	Sum     string                `json:"sum"`
+
+	// CellMs carries the worker-measured compute duration of each cell
+	// in Cells, in milliseconds, for the coordinator's trace and
+	// latency histogram. Telemetry only: it rides outside the sealed
+	// payload (Sum digests Cells alone), so a missing or garbled timing
+	// can skew a trace but never a result.
+	CellMs []float64 `json:"cell_ms,omitempty"`
 }
 
 // CompleteResponse acknowledges (or rejects) a completion payload.
@@ -127,6 +134,10 @@ type StatusResponse struct {
 
 	Draining bool        `json:"draining"`
 	Leases   []LeaseInfo `json:"leases,omitempty"`
+
+	// Quarantined counts corrupt cell files the coordinator's store has
+	// moved aside this run — silent data-loss recovery made visible.
+	Quarantined int64 `json:"quarantined,omitempty"`
 
 	// MissingKeys lists cells that are out of retry budget (capped at 20;
 	// Exhausted is the full count).

@@ -158,11 +158,13 @@ func (w *Worker) serve(g *Grant) error {
 				return err
 			}
 		}
+		t0 := w.clock().Now()
 		r, err := w.runner.RunCell(cell)
 		if err != nil {
 			w.Transport.Fail(FailRequest{Worker: w.ID, LeaseID: g.LeaseID, Reason: err.Error()})
 			return nil
 		}
+		elapsed := w.clock().Now().Sub(t0)
 		w.Cells++
 		cells := []campaign.CellResult{{Key: cell.Key(), Cell: cell, Result: r}}
 		req := CompleteRequest{
@@ -171,6 +173,7 @@ func (w *Worker) serve(g *Grant) error {
 			Done:    i == len(g.Cells)-1,
 			Cells:   cells,
 			Sum:     PayloadSum(cells),
+			CellMs:  []float64{float64(elapsed.Microseconds()) / 1e3},
 		}
 		resp, err := w.Transport.Complete(req)
 		if err != nil {

@@ -161,6 +161,7 @@ func (s *Suite) computeSchedCell(c campaign.Cell) (sim.Result, error) {
 		MaxCycles: schedMaxCycles(s),
 		Pool:      s.Runner.Pool,
 		FFDrain:   s.SchedFFDrain,
+		Obs:       s.Runner.Obs,
 	})
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: sched cell %s: %w", c, err)

@@ -19,6 +19,7 @@ import (
 	"dcra/internal/core"
 	"dcra/internal/cpu"
 	"dcra/internal/metrics"
+	"dcra/internal/obs"
 	"dcra/internal/policy"
 	"dcra/internal/sim"
 	"dcra/internal/singleflight"
@@ -189,6 +190,25 @@ func NewQuickSuite() *Suite {
 	s.Runner.Warmup = 20_000
 	s.Runner.Measure = 80_000
 	return s
+}
+
+// Instrument attaches a metrics registry and span tracer to every layer the
+// suite drives: the engine (per-cell counters and spans), the runner
+// (sampled-run and probe telemetry), the machine pool (reuse hit rate) and
+// the persistent store, when one is attached (puts, gets, quarantines).
+// Either argument may be nil; attach the Store before calling so it is
+// covered. Telemetry never alters results — the instrumented paths feed the
+// same numbers to the same sinks.
+func (s *Suite) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	s.engine().Reg = reg
+	s.engine().Tracer = tr
+	s.Runner.Obs = reg
+	if s.Runner.Pool != nil {
+		s.Runner.Pool.SetObs(reg)
+	}
+	if s.Store != nil {
+		s.Store.SetObs(reg)
+	}
 }
 
 // StoreParams returns the campaign store protocol matching this suite's
@@ -379,9 +399,9 @@ func (s *Suite) engine() *sim.Engine {
 // the render loops do, so a sampled suite prefetches the sampled sweep.
 func (s *Suite) Prefetch(cells []campaign.Cell) error {
 	errs := make([]error, len(cells))
-	s.engine().Run(len(cells), func(i int) {
-		_, errs[i] = s.runCell(s.applyCellMode(cells[i]))
-	})
+	s.engine().RunLabeled(len(cells),
+		func(i int) string { return s.applyCellMode(cells[i]).Key() },
+		func(i int) { _, errs[i] = s.runCell(s.applyCellMode(cells[i])) })
 	return sim.FirstError(errs)
 }
 

@@ -127,6 +127,31 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
+// TestPercentileExtremes pins the boundary ranks: any p <= 0 answers the
+// minimum, p >= 100 the maximum, and a single sample answers itself at
+// every p — including out-of-range requests.
+func TestPercentileExtremes(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	for _, p := range []float64{0, -10} {
+		if got := Percentile(xs, p); !almost(got, 1) {
+			t.Errorf("Percentile(p=%v) = %v, want the minimum 1", p, got)
+		}
+	}
+	for _, p := range []float64{100, 250} {
+		if got := Percentile(xs, p); !almost(got, 9) {
+			t.Errorf("Percentile(p=%v) = %v, want the maximum 9", p, got)
+		}
+	}
+	for _, p := range []float64{0, 50, 100} {
+		if got := Percentile([]float64{7}, p); !almost(got, 7) {
+			t.Errorf("single-sample Percentile(p=%v) = %v, want 7", p, got)
+		}
+		if got := Percentile(nil, p); got != 0 {
+			t.Errorf("empty Percentile(p=%v) = %v, want 0", p, got)
+		}
+	}
+}
+
 // The nearest-rank percentile is always an element of the sample, bounded by
 // its extremes, and monotone in p.
 func TestPercentileProperties(t *testing.T) {
@@ -165,6 +190,15 @@ func TestJainFairness(t *testing.T) {
 	// Negative entries count as zero allocation, not negative fairness.
 	if got := JainFairness([]float64{-1, 2, 2}); got <= 0 || got > 1 {
 		t.Fatalf("Jain with negative entry = %v outside (0,1]", got)
+	}
+	// A lone entity is perfectly fair to itself, whatever it holds.
+	for _, x := range []float64{0.001, 1, 42} {
+		if got := JainFairness([]float64{x}); !almost(got, 1) {
+			t.Errorf("Jain(%v alone) = %v, want 1", x, got)
+		}
+	}
+	if JainFairness([]float64{0}) != 0 {
+		t.Error("Jain of a single zero allocation should be degenerate (0)")
 	}
 }
 

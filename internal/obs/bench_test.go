@@ -1,0 +1,47 @@
+package obs
+
+import "testing"
+
+// BenchmarkCounterDisabled measures the disabled fast path: the nil
+// check is all a call site pays with telemetry off.
+func BenchmarkCounterDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	b.ReportAllocs()
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRegistry()
+	h := r.Histogram("h", DurationBounds)
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 0xffff))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	b.ReportAllocs()
+	var t *Tracer
+	for i := 0; i < b.N; i++ {
+		end := t.Span(0, 0, "op", "bench")
+		end()
+	}
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second resolution returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+
+	h := r.Histogram("h", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 100, 101, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("hist count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 5+10+11+100+101+1000 {
+		t.Fatalf("hist sum = %d", got)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["h"]
+	want := []int64{2, 2, 2} // (<=10), (<=100), overflow
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBounds)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must resolve nil instruments")
+	}
+	// Every operation must be a safe no-op.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+// TestDisabledZeroAlloc is the "zero allocation disabled" half of the
+// overhead contract: every disabled-path operation allocates nothing.
+func TestDisabledZeroAlloc(t *testing.T) {
+	var r *Registry
+	var tr *Tracer
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DurationBounds)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(3)
+		g.Add(1)
+		h.Observe(7)
+		end := tr.Span(0, 0, "s", "cat")
+		end()
+		tr.CompleteAt(0, 0, "x", "cat", 0, 1)
+	}); n != 0 {
+		t.Fatalf("disabled telemetry allocated %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestSnapshotMergeDeterministic is the shard-merge determinism
+// contract: merging per-shard snapshots yields identical serialized
+// bytes under every shard-order permutation.
+func TestSnapshotMergeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shards := make([]Snapshot, 4)
+	for i := range shards {
+		r := NewRegistry()
+		c := r.Counter("cells.done")
+		h := r.Histogram("cell.us", DurationBounds)
+		h2 := r.Histogram("turnaround.cycles", CycleBounds)
+		for j := 0; j < 50; j++ {
+			c.Inc()
+			h.Observe(rng.Int63n(200_000_000))
+			h2.Observe(rng.Int63n(20_000_000))
+		}
+		r.Gauge("depth").Set(int64(i))
+		shards[i] = r.Snapshot()
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}}
+	var ref []byte
+	for _, p := range perms {
+		var merged Snapshot
+		var err error
+		for _, i := range p {
+			merged, err = Merge(merged, shards[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := merged.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("merge order %v produced different bytes:\n%s\nvs\n%s", p, ref, buf.Bytes())
+		}
+	}
+}
+
+func TestMergeBoundsMismatch(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Histogram("h", []int64{1, 2}).Observe(1)
+	r2 := NewRegistry()
+	r2.Histogram("h", []int64{1, 2, 3}).Observe(1)
+	if _, err := Merge(r1.Snapshot(), r2.Snapshot()); err == nil {
+		t.Fatal("merging histograms with different bounds must error")
+	}
+}
+
+// TestObsConcurrent hammers one registry from many goroutines; run
+// under -race in CI.
+func TestObsConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", CycleBounds)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				r.Gauge("depth").Add(1)
+				h.Observe(int64(i))
+				end := tr.Span(0, w, "op", "test")
+				end()
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("hist", CycleBounds).Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+	if tr.Len() != 8000 {
+		t.Fatalf("tracer has %d events, want 8000", tr.Len())
+	}
+}

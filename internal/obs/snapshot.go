@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last is the overflow bucket
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry. Map-backed so that
+// encoding/json marshals it with sorted keys — the serialized form is
+// deterministic for a given state regardless of registration order.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields
+// an empty snapshot. Instruments may keep moving while the snapshot is
+// taken; each individual value is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Sum:    h.Sum(),
+				Count:  h.Count(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Merge folds other into s and returns the result: counters and gauges
+// add, histograms add elementwise. Because every quantity is an
+// integer, the result is exact and independent of merge order — merging
+// N shard snapshots yields identical bytes under any permutation.
+// Histograms sharing a name must share bounds.
+func Merge(s, other Snapshot) (Snapshot, error) {
+	out := Snapshot{}
+	addAll := func(dst *map[string]int64, src map[string]int64) {
+		if len(src) == 0 {
+			return
+		}
+		if *dst == nil {
+			*dst = make(map[string]int64, len(src))
+		}
+		for k, v := range src {
+			(*dst)[k] += v
+		}
+	}
+	addAll(&out.Counters, s.Counters)
+	addAll(&out.Counters, other.Counters)
+	addAll(&out.Gauges, s.Gauges)
+	addAll(&out.Gauges, other.Gauges)
+	for _, src := range []map[string]HistogramSnapshot{s.Histograms, other.Histograms} {
+		for name, h := range src {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramSnapshot)
+			}
+			cur, ok := out.Histograms[name]
+			if !ok {
+				out.Histograms[name] = HistogramSnapshot{
+					Bounds: append([]int64(nil), h.Bounds...),
+					Counts: append([]int64(nil), h.Counts...),
+					Sum:    h.Sum,
+					Count:  h.Count,
+				}
+				continue
+			}
+			if !boundsEqual(cur.Bounds, h.Bounds) {
+				return Snapshot{}, fmt.Errorf("obs: histogram %q bounds mismatch in merge", name)
+			}
+			for i := range cur.Counts {
+				cur.Counts[i] += h.Counts[i]
+			}
+			cur.Sum += h.Sum
+			cur.Count += h.Count
+			out.Histograms[name] = cur
+		}
+	}
+	return out, nil
+}
+
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteJSON writes the snapshot as indented JSON. Deterministic for a
+// given state: encoding/json sorts map keys.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

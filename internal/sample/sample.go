@@ -34,6 +34,7 @@ import (
 
 	"dcra/internal/config"
 	"dcra/internal/cpu"
+	"dcra/internal/obs"
 	"dcra/internal/stats"
 )
 
@@ -199,13 +200,35 @@ func meanStd(xs []float64) (mean, std float64) {
 	return mean, math.Sqrt(ss / (n - 1))
 }
 
+// SamplePID is the trace pid lane group cycle-domain sampling spans
+// live on.
+const SamplePID = 2
+
 // Run executes the sampling schedule on m and returns the summary plus the
 // aggregate statistics over all measured windows (warmup and fast-forward
 // excluded). The machine must be freshly built or Reinit-ed; after Run it
 // can be recycled like any other.
 func Run(m *cpu.Machine, p Params) (*Summary, *stats.Stats, error) {
+	return RunObserved(m, p, nil, nil)
+}
+
+// RunObserved is Run with telemetry: reg (if set) accumulates windows
+// run, relative CI widths and the detailed-vs-fast-forward split, and
+// tr (if set) records cycle-domain spans for the pilot and each
+// measured window. Both nil reproduces Run exactly — the schedule and
+// results are identical either way.
+func RunObserved(m *cpu.Machine, p Params, reg *obs.Registry, tr *obs.Tracer) (*Summary, *stats.Stats, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
+	}
+	span := func(from uint64, format string, args ...any) {
+		if tr != nil {
+			tr.CompleteAt(SamplePID, 0, fmt.Sprintf(format, args...), "sample",
+				float64(from), float64(m.Cycle()-from))
+		}
+	}
+	if tr != nil {
+		tr.Process(SamplePID, "sampling schedule (cycle domain)")
 	}
 	nt := m.NumThreads()
 	sum := &Summary{
@@ -227,9 +250,11 @@ func Run(m *cpu.Machine, p Params) (*Summary, *stats.Stats, error) {
 		// size the fast-forward through the rest of the skipped region. Its
 		// statistics never reach the summary — the first measured window's
 		// ResetStats discards them.
+		pilotFrom := m.Cycle()
 		m.Run(p.Warmup)
 		m.ResetStats()
 		m.Run(p.Measure)
+		span(pilotFrom, "pilot")
 		if pilot := p.Warmup + p.Measure; p.SkipCycles > pilot {
 			st := m.Stats()
 			gap := p.SkipCycles - pilot
@@ -245,9 +270,11 @@ func Run(m *cpu.Machine, p Params) (*Summary, *stats.Stats, error) {
 		}
 	}
 	for k := 0; k < p.Windows; k++ {
+		windowFrom := m.Cycle()
 		m.Run(p.Warmup)
 		m.ResetStats()
 		m.Run(p.Measure)
+		span(windowFrom, "window %d", k)
 		st := m.Stats()
 		sum.WindowThroughput = append(sum.WindowThroughput, st.Throughput())
 		for t := 0; t < nt; t++ {
@@ -295,5 +322,17 @@ func Run(m *cpu.Machine, p Params) (*Summary, *stats.Stats, error) {
 		sum.FastForwarded += ffTotals[t]
 	}
 	sum.MeasuredCycles = agg.Cycles
+	if reg != nil {
+		reg.Counter("sample.runs").Inc()
+		reg.Counter("sample.windows").Add(int64(k))
+		reg.Counter("sample.cycles.detailed").Add(int64(p.DetailedCycles()))
+		reg.Counter("sample.uops.fastforwarded").Add(int64(sum.FastForwarded))
+		if sum.Throughput > 0 {
+			// Relative CI half-width in parts-per-million: a dimensionless
+			// integer, so shard merges of the histogram stay exact.
+			reg.Histogram("sample.ci.rel.ppm", obs.PPMBounds).
+				Observe(int64(sum.ThroughputCI / sum.Throughput * 1e6))
+		}
+	}
 	return sum, agg, nil
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"dcra/internal/obs"
 	"dcra/internal/sample"
 	"dcra/internal/sim"
 	"dcra/internal/stats"
@@ -25,6 +26,10 @@ type RunStats struct {
 
 	Sched *sim.SchedSummary `json:"sched,omitempty"`
 	Jobs  []Job             `json:"jobs,omitempty"`
+
+	// Probe carries the periodic per-thread IPC / ROB-occupancy series when
+	// the run was probed (`smtsim -probe N`).
+	Probe *obs.ProbeSeries `json:"probe,omitempty"`
 }
 
 // ThreadRunStats is the per-hardware-context slice of RunStats.

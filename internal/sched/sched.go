@@ -25,11 +25,17 @@ import (
 
 	"dcra/internal/config"
 	"dcra/internal/cpu"
+	"dcra/internal/obs"
 	"dcra/internal/rng"
 	"dcra/internal/sim"
 	"dcra/internal/stats"
 	"dcra/internal/trace"
 )
+
+// SchedPID is the trace pid lane group job spans live on, one tid per
+// hardware context, in the cycle domain (timestamps are simulation
+// cycles, so same-seed trials produce identical traces).
+const SchedPID = 3
 
 // Job is one unit of work: a benchmark profile to execute for a fixed number
 // of committed micro-ops.
@@ -103,6 +109,13 @@ type Config struct {
 	// Pool, when non-nil, recycles machine allocations across trials
 	// (reuse is observationally invisible, exactly as for Runner cells).
 	Pool *sim.MachinePool
+
+	// Obs, when set, receives trial telemetry (queue depth at scheduling
+	// events, picker decisions, job turnaround); Tracer records one
+	// cycle-domain span per completed job on its context's lane. Neither
+	// touches the event log or any scheduling decision.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 }
 
 // Trial is the outcome of one scheduling run.
@@ -229,6 +242,24 @@ func Run(c Config) (*Trial, error) {
 		tr.EventLog = append(tr.EventLog, fmt.Sprintf(format, args...))
 	}
 
+	depth := c.Obs.Histogram("sched.queue.depth", obs.DepthBounds)
+	picks := c.Obs.Counter("sched.picker.decisions")
+	turnaround := c.Obs.Histogram("sched.turnaround.cycles", obs.CycleBounds)
+	arrived := c.Obs.Counter("sched.jobs.arrived")
+	completed := c.Obs.Counter("sched.jobs.completed")
+	if c.Tracer != nil {
+		c.Tracer.Process(SchedPID, "sched contexts (cycle domain)")
+		for t := 0; t < c.Contexts; t++ {
+			c.Tracer.Lane(SchedPID, t, fmt.Sprintf("ctx %d", t))
+		}
+	}
+	jobSpan := func(j *Job) {
+		if c.Tracer != nil {
+			c.Tracer.CompleteAt(SchedPID, j.Context, fmt.Sprintf("job %d %s", j.ID, j.Bench),
+				"job", float64(j.Start), float64(j.Finish-j.Start))
+		}
+	}
+
 	var (
 		queue      []*Job
 		running    = make([]*Job, c.Contexts)
@@ -249,8 +280,10 @@ func Run(c Config) (*Trial, error) {
 			j := &jobs[nextArr]
 			queue = append(queue, j)
 			logf("@%d arrive job=%d bench=%s mem=%t budget=%d", j.Arrival, j.ID, j.Bench, j.Mem, j.Budget)
+			arrived.Inc()
 			nextArr++
 		}
+		depth.Observe(int64(len(queue)))
 
 		// Place queued jobs onto free contexts, picker's choice each slot.
 		for len(queue) > 0 && active < c.Contexts {
@@ -262,6 +295,7 @@ func Run(c Config) (*Trial, error) {
 				}
 			}
 			i := c.Picker.Pick(queue, running)
+			picks.Inc()
 			j := queue[i]
 			queue = append(queue[:i], queue[i+1:]...)
 			if err := m.RebindThread(ctx, j.prof, jobSeed(c.Seed, j.ID)); err != nil {
@@ -317,6 +351,9 @@ func Run(c Config) (*Trial, error) {
 				j.Finish = fin
 				j.Done = true
 				tr.Completed++
+				completed.Inc()
+				turnaround.Observe(int64(j.Turnaround()))
+				jobSpan(j)
 				if ffDrainEnd < fin {
 					ffDrainEnd = fin
 				}
@@ -348,6 +385,9 @@ func Run(c Config) (*Trial, error) {
 			j.Finish = now
 			j.Done = true
 			tr.Completed++
+			completed.Inc()
+			turnaround.Observe(int64(j.Turnaround()))
+			jobSpan(j)
 			m.ParkThread(ctx)
 			running[ctx] = nil
 			targets[ctx] = cpu.NoTarget

@@ -5,6 +5,7 @@ import (
 
 	"dcra/internal/config"
 	"dcra/internal/cpu"
+	"dcra/internal/obs"
 	"dcra/internal/trace"
 )
 
@@ -21,11 +22,24 @@ import (
 type MachinePool struct {
 	mu    sync.Mutex
 	pools map[cpu.Shape]*sync.Pool
+
+	hits   *obs.Counter // Get served by a pooled machine (Reinit path)
+	misses *obs.Counter // Get built a fresh machine
 }
 
 // NewMachinePool returns an empty pool.
 func NewMachinePool() *MachinePool {
 	return &MachinePool{pools: make(map[cpu.Shape]*sync.Pool)}
+}
+
+// SetObs resolves the pool's hit/miss counters from reg; a nil reg (or
+// never calling SetObs) leaves the pool uninstrumented.
+func (p *MachinePool) SetObs(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	p.hits = reg.Counter("pool.machine.hits")
+	p.misses = reg.Counter("pool.machine.misses")
 }
 
 // bucket returns the sync.Pool for sh, creating it on first use.
@@ -54,8 +68,10 @@ func (p *MachinePool) Get(cfg config.Config, profiles []trace.Profile, pol cpu.P
 		if err := m.Reinit(cfg, profiles, pol, seed); err != nil {
 			return nil, err
 		}
+		p.hits.Inc()
 		return m, nil
 	}
+	p.misses.Inc()
 	return cpu.New(cfg, profiles, pol, seed)
 }
 

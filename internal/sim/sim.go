@@ -10,6 +10,7 @@ import (
 	"dcra/internal/config"
 	"dcra/internal/cpu"
 	"dcra/internal/metrics"
+	"dcra/internal/obs"
 	"dcra/internal/policy"
 	"dcra/internal/sample"
 	"dcra/internal/singleflight"
@@ -42,6 +43,12 @@ type Result struct {
 	// execution mode; nil for exact runs. For sampled runs, IPCs/Throughput
 	// are the window means and Stats aggregates the measured windows only.
 	Sampled *sample.Summary `json:"Sampled,omitempty"`
+
+	// Probe carries the periodic machine probe's per-thread IPC and ROB
+	// occupancy time-series when the runner had ProbeInterval set; nil
+	// (and absent from serialized results) otherwise, so unprobed runs
+	// keep their exact stored bytes.
+	Probe *obs.ProbeSeries `json:"Probe,omitempty"`
 }
 
 // SchedSummary is the open-system slice of a Result: the per-trial metrics
@@ -102,6 +109,17 @@ type Runner struct {
 
 	Pool *MachinePool // optional machine reuse; nil builds fresh machines
 
+	// Obs, when set, receives runner-level telemetry (sampled-mode
+	// window counts and CI widths). Set it before runs start; like the
+	// window fields it must not change while runs are in flight.
+	Obs *obs.Registry
+
+	// ProbeInterval, when non-zero, makes RunWorkload sample the machine
+	// every ProbeInterval cycles of the measured window (per-thread IPC
+	// and ROB occupancy) into Result.Probe. The probed run commits a
+	// bit-identical stream — the probe only reads counters.
+	ProbeInterval uint64
+
 	baseline        singleflight.Memo[baselineKey, float64]
 	baselineSampled singleflight.Memo[baselineKey, float64]
 	inFlight        atomic.Int64
@@ -142,16 +160,32 @@ func (r *Runner) InFlight() int64 { return r.inFlight.Load() }
 // inspection. Callers that extract what they need should hand the machine
 // back via Recycle; keeping it (or dropping it) is also safe.
 func (r *Runner) RunMachine(cfg config.Config, profiles []trace.Profile, pol cpu.Policy) (*cpu.Machine, error) {
+	m, _, err := r.runProtocol(cfg, profiles, pol, false)
+	return m, err
+}
+
+// RunMachineProbed is RunMachine with the periodic machine probe: when
+// the runner's ProbeInterval is non-zero the measured window is sampled
+// into the returned series (nil otherwise). The committed stream is
+// bit-identical to RunMachine's.
+func (r *Runner) RunMachineProbed(cfg config.Config, profiles []trace.Profile, pol cpu.Policy) (*cpu.Machine, *obs.ProbeSeries, error) {
+	return r.runProtocol(cfg, profiles, pol, true)
+}
+
+func (r *Runner) runProtocol(cfg config.Config, profiles []trace.Profile, pol cpu.Policy, probe bool) (*cpu.Machine, *obs.ProbeSeries, error) {
 	snap := r.beginRun()
 	defer r.endRun(snap)
 	m, err := r.Pool.Get(cfg, profiles, pol, r.Seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m.Run(r.Warmup)
 	m.ResetStats()
+	if probe && r.ProbeInterval > 0 {
+		return m, ProbeRun(m, r.Measure, r.ProbeInterval), nil
+	}
 	m.Run(r.Measure)
-	return m, nil
+	return m, nil, nil
 }
 
 // Recycle returns a machine obtained from RunMachine to the runner's pool.
@@ -164,13 +198,13 @@ func (r *Runner) Recycle(m *cpu.Machine) { r.Pool.Put(m) }
 // same configuration).
 func (r *Runner) RunWorkload(cfg config.Config, w workload.Workload, mk PolicyFactory) (Result, error) {
 	pol := mk()
-	m, err := r.RunMachine(cfg, w.Profiles(), pol)
+	m, probe, err := r.RunMachineProbed(cfg, w.Profiles(), pol)
 	if err != nil {
 		return Result{}, fmt.Errorf("sim: workload %s under %s: %w", w.ID(), pol.Name(), err)
 	}
 	st := m.Stats()
 	r.Recycle(m) // st stays valid: reuse abandons, never clears, old stats
-	res := Result{Workload: w, Policy: pol.Name(), Stats: st}
+	res := Result{Workload: w, Policy: pol.Name(), Stats: st, Probe: probe}
 	res.IPCs = make([]float64, len(w.Names))
 	single := make([]float64, len(w.Names))
 	for i := range w.Names {
@@ -208,7 +242,7 @@ func (r *Runner) RunMachineSampled(cfg config.Config, profiles []trace.Profile, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	sum, agg, err := sample.Run(m, r.SamplePlan(cfg))
+	sum, agg, err := sample.RunObserved(m, r.SamplePlan(cfg), r.Obs, nil)
 	if err != nil {
 		r.Pool.Put(m)
 		return nil, nil, nil, err
