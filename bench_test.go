@@ -223,6 +223,64 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	m.Run(uint64(b.N))
 }
 
+// BenchmarkFastForward prices functional fast-forward on its own — no
+// detailed cycles, only the stream advance plus warming. Each op is one
+// committed uop per thread (4 threads), driven in gap-sized budgets the way
+// the sampled runner issues them. "full" trains caches/TLBs/predictor for
+// every skipped uop; "warmtail" skims the gap body with stats-only stream
+// advance and trains only the final uops before the would-be window — the
+// adaptive protocol's gap mode. The uops/s metric counts all threads.
+func BenchmarkFastForward(b *testing.B) {
+	run := func(b *testing.B, ff func(m *cpu.Machine, budgets []uint64)) {
+		m := benchMachine(b)
+		budgets := make([]uint64, m.NumThreads())
+		b.ResetTimer()
+		const gap = 16_384 // per-thread uops per budget call, ~ a sampling gap
+		var done uint64
+		for done < uint64(b.N) {
+			n := min(gap, uint64(b.N)-done)
+			for t := range budgets {
+				budgets[t] = n
+			}
+			ff(m, budgets)
+			done += n
+		}
+		b.ReportMetric(float64(done)*float64(len(budgets))/b.Elapsed().Seconds(), "uops/s")
+	}
+	b.Run("full", func(b *testing.B) {
+		run(b, func(m *cpu.Machine, budgets []uint64) { m.FastForwardBudgets(budgets) })
+	})
+	b.Run("warmtail", func(b *testing.B) {
+		run(b, func(m *cpu.Machine, budgets []uint64) { m.FastForwardBudgetsTail(budgets, 3072) })
+	})
+}
+
+// BenchmarkDispatchCommit prices the dispatch/issue/commit kernel under a
+// load built to keep it the bottleneck: four ILP-class threads whose working
+// sets sit in L1 after warmup, so cycles are spent moving uops through
+// rename/dispatch, the issue queues and the commit walk rather than waiting
+// on memory. Reported uops/cycle confirms the kernel stayed dispatch-bound;
+// ns/op is the per-cycle price of the micro-structure.
+func BenchmarkDispatchCommit(b *testing.B) {
+	m, err := dcra.NewMachine(dcra.BaselineConfig(), []dcra.Profile{
+		dcra.MustProfile("gzip"), dcra.MustProfile("eon"),
+		dcra.MustProfile("crafty"), dcra.MustProfile("bzip2"),
+	}, dcra.NewDCRA(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(5_000)
+	m.ResetStats()
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+	b.StopTimer()
+	var committed uint64
+	for t := range m.Stats().Threads {
+		committed += m.Stats().Threads[t].Committed
+	}
+	b.ReportMetric(float64(committed)/float64(b.N), "uops/cycle")
+}
+
 // BenchmarkSimulatorSpeedTelemetryOff drives the kernel in probe-sized
 // chunks with every telemetry hook present but disabled (nil instruments,
 // nil tracer): the contract is 0 allocs/op and speed indistinguishable from

@@ -23,6 +23,8 @@ import (
 	"dcra"
 	"dcra/internal/campaign"
 	"dcra/internal/experiments"
+	"dcra/internal/obs"
+	"dcra/internal/sample"
 )
 
 // Record is the JSON schema of one trajectory point.
@@ -58,6 +60,18 @@ type Record struct {
 	SampledSeconds float64                 `json:"figure5_sampled_quick_seconds"`
 	SampledSpeedup float64                 `json:"figure5_sampled_speedup"`
 	Parity         experiments.ParityStats `json:"fig5_sampled_parity"`
+
+	// Adaptive-sampling efficiency: how much detailed simulation the sampled
+	// sweep actually paid for, harvested from the runner's obs counters.
+	// DetailedFraction is detailed-simulated cycles (windows + pilot +
+	// warmups) over the exact-equivalent cycles the same runs would have
+	// cost; PilotWarmupShare is the slice of those detailed cycles that is
+	// measurement overhead rather than measured windows; MeanWindows is the
+	// mean stopping point per sampled run (between min_windows and windows).
+	SampledRuns      int64   `json:"sampled_runs"`
+	MeanWindows      float64 `json:"sampled_mean_windows_per_run"`
+	DetailedFraction float64 `json:"sampled_detailed_cycle_fraction"`
+	PilotWarmupShare float64 `json:"sampled_pilot_warmup_share"`
 }
 
 func main() {
@@ -117,12 +131,16 @@ func main() {
 	rec.VsDG = f5.AvgHmeanImprovement[experiments.PolDG]
 	rec.VsFlushPP = f5.AvgHmeanImprovement[experiments.PolFlushPP]
 
-	// Sampled-mode Figure 5: time the same sweep under SMARTS sampling, then
-	// run the parity harness — the exact cells above and the sampled cells
-	// just timed are both memoised, so parity adds only the comparison.
+	// Sampled-mode Figure 5: time the same sweep under the adaptive SMARTS
+	// protocol (variance-driven windows, drift-sized skip, warm-tail gaps),
+	// then run the parity harness — the exact cells above and the sampled
+	// cells just timed are both memoised, so parity adds only the comparison.
 	sampled := experiments.NewQuickSuite()
 	sampled.Runner.Warmup, sampled.Runner.Measure = 15_000, 60_000
 	sampled.Mode = campaign.ModeSampled
+	sampled.Sampling = sample.DeriveAdaptive(15_000, 60_000).Config()
+	reg := obs.NewRegistry()
+	sampled.Runner.Obs = reg
 	start = time.Now()
 	if err := sampled.Prefetch(experiments.Figure5Sweep().Cells); err != nil {
 		fatal(err)
@@ -136,6 +154,15 @@ func main() {
 	} else {
 		rec.Parity = parity
 	}
+	rec.SampledRuns = reg.Counter("sample.runs").Value()
+	if rec.SampledRuns > 0 {
+		detailed := reg.Counter("sample.cycles.detailed").Value()
+		overhead := reg.Counter("sample.cycles.overhead").Value()
+		rec.MeanWindows = float64(reg.Counter("sample.windows").Value()) / float64(rec.SampledRuns)
+		exactEquiv := rec.SampledRuns * int64(sampled.Runner.Warmup+sampled.Runner.Measure)
+		rec.DetailedFraction = float64(detailed+overhead) / float64(exactEquiv)
+		rec.PilotWarmupShare = float64(overhead) / float64(detailed+overhead)
+	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -148,6 +175,8 @@ func main() {
 	fmt.Printf("benchjson: %.0f ns/cycle, figure5 quick %.1fs exact / %.1fs sampled (%.2fx, %d/%d within CI, %d workers) -> %s\n",
 		rec.NsPerCycle, rec.Figure5Seconds, rec.SampledSeconds, rec.SampledSpeedup,
 		rec.Parity.WithinCI, rec.Parity.Cells, rec.Workers, *out)
+	fmt.Printf("benchjson: adaptive sampling: %.2f windows/run over %d runs, %.1f%% detailed, %.1f%% of that pilot+warmup\n",
+		rec.MeanWindows, rec.SampledRuns, 100*rec.DetailedFraction, 100*rec.PilotWarmupShare)
 }
 
 func fatal(err error) {

@@ -77,7 +77,7 @@ func cmdCoordinate(args []string) {
 		fatal(err)
 	}
 	s.Store = st
-	sweep := experiments.ApplyMode(spec.Sweep(), s.Mode)
+	sweep := experiments.ApplyModeSampling(spec.Sweep(), s.Mode, s.Sampling)
 
 	// The coordinator always carries a metrics registry so /metrics serves a
 	// live snapshot; the span tracer (lease lifecycles, worker cell

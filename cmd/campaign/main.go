@@ -41,6 +41,7 @@ import (
 	"dcra/internal/campaign"
 	"dcra/internal/experiments"
 	"dcra/internal/obs"
+	"dcra/internal/sample"
 )
 
 func main() {
@@ -87,11 +88,12 @@ func usage() {
 
 // suiteFlags registers the measurement-protocol flags shared by run/status.
 type suiteFlags struct {
-	quick   *bool
-	warmup  *uint64
-	measure *uint64
-	sampled *bool
-	trace   *string
+	quick    *bool
+	warmup   *uint64
+	measure  *uint64
+	sampled  *bool
+	adaptive *bool
+	trace    *string
 }
 
 func addSuiteFlags(fs *flag.FlagSet) suiteFlags {
@@ -101,6 +103,8 @@ func addSuiteFlags(fs *flag.FlagSet) suiteFlags {
 		measure: fs.Uint64("measure", 0, "override measured cycles"),
 		sampled: fs.Bool("sampled", false,
 			"SMARTS-style sampled execution for workload cells (bench/sched cells stay exact; renders prefer stored exact results)"),
+		adaptive: fs.Bool("adaptive", false,
+			"variance-driven sampled execution (implies -sampled): adaptive window count, drift-sized skip, warm-tail gaps; cells carry the schedule in their content keys"),
 		trace: fs.String("trace", "",
 			"write a Chrome trace-event JSON file of the run (load in Perfetto / chrome://tracing)"),
 	}
@@ -138,8 +142,14 @@ func (sf suiteFlags) suite() *experiments.Suite {
 	if *sf.measure > 0 {
 		s.Runner.Measure = *sf.measure
 	}
-	if *sf.sampled {
+	if *sf.sampled || *sf.adaptive {
 		s.Mode = campaign.ModeSampled
+	}
+	if *sf.adaptive {
+		// Derived after the warmup/measure overrides so the adaptive
+		// schedule tracks the protocol actually being run; stamped on the
+		// suite, it becomes part of every sampled cell's content key.
+		s.Sampling = sample.DeriveAdaptive(s.Runner.Warmup, s.Runner.Measure).Config()
 	}
 	return s
 }
@@ -172,7 +182,7 @@ func cmdRun(args []string) {
 	flush := sflags.instrument(s)
 	// Sharding enumerates the mode-applied sweep, so a sampled campaign's
 	// shard files carry sampled cells (their own keys) end to end.
-	sweep := experiments.ApplyMode(spec.Sweep(), s.Mode)
+	sweep := experiments.ApplyModeSampling(spec.Sweep(), s.Mode, s.Sampling)
 
 	if *shards <= 1 && (*shard != 0 || *out != "") {
 		fatal(fmt.Errorf("-shard/-out only make sense with -shards N > 1 (did you forget -shards?)"))
@@ -341,13 +351,20 @@ func cmdGC(args []string) {
 		fatal(err)
 	}
 	keep := make(map[string]bool)
+	// Adaptive-sampled cells carry their schedule in the content key; the
+	// schedule derives from the store's own measurement protocol.
+	adaptive := sample.DeriveAdaptive(st.Params().Warmup, st.Params().Measure).Config()
 	for _, sp := range experiments.Specs() {
 		sweep := sp.Sweep()
 		for _, c := range sweep.Cells {
 			keep[c.Key()] = true
 		}
-		// Sampled campaigns store cells under their own keys; keep those too.
+		// Sampled campaigns store cells under their own keys; keep those too
+		// (fixed protocol and this store's adaptive variant).
 		for _, c := range experiments.ApplyMode(sweep, campaign.ModeSampled).Cells {
+			keep[c.Key()] = true
+		}
+		for _, c := range experiments.ApplyModeSampling(sweep, campaign.ModeSampled, adaptive).Cells {
 			keep[c.Key()] = true
 		}
 	}
@@ -373,6 +390,7 @@ func cmdStatus(args []string) {
 		storeDir    = fs.String("store", "", "persistent result store directory")
 		coordinator = fs.String("coordinator", "", "live coordinator URL to query instead of a store")
 		sampled     = fs.Bool("sampled", false, "count the sampled variant of the sweep")
+		adaptive    = fs.Bool("adaptive", false, "count the adaptive-sampled variant (schedule derived from the store's protocol)")
 	)
 	fs.Parse(args)
 	if *coordinator != "" {
@@ -391,7 +409,11 @@ func cmdStatus(args []string) {
 		fatal(err)
 	}
 	sweep := spec.Sweep()
-	if *sampled {
+	switch {
+	case *adaptive:
+		sc := sample.DeriveAdaptive(st.Params().Warmup, st.Params().Measure).Config()
+		sweep = experiments.ApplyModeSampling(sweep, campaign.ModeSampled, sc)
+	case *sampled:
 		sweep = experiments.ApplyMode(sweep, campaign.ModeSampled)
 	}
 	present, missing := st.Count(sweep)

@@ -133,6 +133,17 @@ type Config struct {
 // window that measures commit rates) before the first measured window,
 // mirroring an exact protocol's warmup. All-zero means "not configured":
 // sampled runs then derive a schedule from the exact protocol's windows.
+//
+// The adaptive extension (MinWindows > 0) turns Windows into a hard cap:
+// after MinWindows windows the run keeps adding windows only while the
+// 99.7% t-interval half-width of the throughput estimate exceeds
+// TargetRelCIPpm parts-per-million of the mean. WarmTail > 0 fast-forwards
+// each gap's body with stream-only draws and applies full cache/predictor
+// warming to the last WarmTail uops per thread before the next window.
+// Every adaptive knob is omitempty, so legacy fixed-protocol configurations
+// (and exact configurations, via omitzero above) keep their campaign cell
+// keys; any knob difference produces a distinct key, so stores never mix
+// protocols.
 type SamplingConfig struct {
 	SkipCycles uint64 `json:"skip_cycles,omitempty"`
 	FFCycles   uint64 `json:"ff_cycles,omitempty"`
@@ -140,6 +151,17 @@ type SamplingConfig struct {
 	Warmup     uint64 `json:"warmup,omitempty"`
 	Measure    uint64 `json:"measure,omitempty"`
 	Windows    int    `json:"windows,omitempty"`
+
+	// MinWindows enables variance-driven sequential stopping: at least
+	// MinWindows windows run, at most Windows. Zero = fixed protocol.
+	MinWindows int `json:"min_windows,omitempty"`
+	// TargetRelCIPpm is the stopping target: relative 99.7% CI half-width
+	// in parts-per-million of the mean (integer, so cell keys stay exact).
+	TargetRelCIPpm int64 `json:"target_rel_ci_ppm,omitempty"`
+	// WarmTail is the per-thread uop count at the end of each gap that gets
+	// full functional warming; the gap body before it advances the stream
+	// without touching caches or the predictor. Zero = warm the whole gap.
+	WarmTail uint64 `json:"warm_tail,omitempty"`
 }
 
 // Enabled reports whether an explicit schedule is configured.
@@ -155,6 +177,15 @@ func (s SamplingConfig) Validate() error {
 	}
 	if s.FFCycles > 0 && s.FFUops > 0 {
 		return fmt.Errorf("config: sampling gaps are either rate-proportional (ff_cycles) or fixed (ff_uops), not both: %+v", s)
+	}
+	if s.MinWindows < 0 || s.MinWindows > s.Windows {
+		return fmt.Errorf("config: sampling min_windows must be in [0, windows], got %+v", s)
+	}
+	if s.MinWindows > 0 && s.TargetRelCIPpm <= 0 {
+		return fmt.Errorf("config: adaptive sampling (min_windows > 0) needs a positive target_rel_ci_ppm: %+v", s)
+	}
+	if s.MinWindows == 0 && s.TargetRelCIPpm != 0 {
+		return fmt.Errorf("config: target_rel_ci_ppm without min_windows has no effect: %+v", s)
 	}
 	return nil
 }

@@ -96,6 +96,13 @@ type DCRA struct {
 	slow  []bool
 	gated []bool
 
+	// tracked holds the resources whose activity counters actually evolve
+	// (FP only, unless TrackAllActivity); untracked resources are active for
+	// every thread on every cycle, so their fast-active/slow-active counts
+	// are the plain fast/slow thread totals.
+	tracked   []cpu.Resource
+	untracked []cpu.Resource
+
 	// limits[r] is E_slow for resource r this cycle (0 when no slow-active
 	// thread competes for r).
 	limits [cpu.NumResources]int
@@ -144,54 +151,74 @@ func (d *DCRA) Tick(m *cpu.Machine) {
 				d.active[t][r] = true
 			}
 		}
-	}
-
-	// Phase classification (paper §3.1.1).
-	for t := 0; t < nt; t++ {
-		if d.opt.ClassifyOnL2 {
-			d.slow[t] = m.PendingL2(t) > 0
-		} else {
-			d.slow[t] = m.PendingL1D(t) > 0
-		}
-	}
-
-	// Activity classification (paper §3.1.2): FP resources only, unless
-	// the ablation widens it. Integer resources are always active — every
-	// thread uses them.
-	for t := 0; t < nt; t++ {
 		for _, r := range cpu.DCRAResources {
-			if !r.IsFP() && !d.opt.TrackAllActivity {
-				d.active[t][r] = true
-				continue
+			if r.IsFP() || d.opt.TrackAllActivity {
+				d.tracked = append(d.tracked, r)
+			} else {
+				d.untracked = append(d.untracked, r)
 			}
-			if m.AllocatedThisCycle(t, r) || m.Usage(t, r) > 0 {
-				d.activity[t][r] = d.opt.ActivityY
-			} else if d.activity[t][r] > 0 {
-				d.activity[t][r]--
-			}
-			d.active[t][r] = d.activity[t][r] > 0
 		}
+	}
+
+	// Phase classification (paper §3.1.1) and activity classification
+	// (paper §3.1.2) run in a single pass per thread, accumulating the
+	// per-resource fast-active / slow-active counts the sharing model needs
+	// as they go. Only the tracked resources (FP by default) carry live
+	// activity counters; the untracked ones are active for every thread on
+	// every cycle, so their counts come from the fast/slow totals alone.
+	var fa, sa [cpu.NumResources]int
+	nSlow := 0
+	for t := 0; t < nt; t++ {
+		var slow bool
+		if d.opt.ClassifyOnL2 {
+			slow = m.PendingL2(t) > 0
+		} else {
+			slow = m.PendingL1D(t) > 0
+		}
+		d.slow[t] = slow
+		if slow {
+			nSlow++
+		}
+		act := &d.activity[t]
+		actv := &d.active[t]
+		for _, r := range d.tracked {
+			if m.AllocatedThisCycle(t, r) || m.Usage(t, r) > 0 {
+				act[r] = d.opt.ActivityY
+			} else if act[r] > 0 {
+				act[r]--
+			}
+			if actv[r] = act[r] > 0; actv[r] {
+				if slow {
+					sa[r]++
+				} else {
+					fa[r]++
+				}
+			}
+		}
+	}
+
+	if nSlow == 0 {
+		// No slow thread anywhere: Eslow is 0 (unbounded) for every resource
+		// and nothing gates. Skip the sharing model — the common case
+		// whenever no thread has a pending miss.
+		d.limits = [cpu.NumResources]int{}
+		for t := 0; t < nt; t++ {
+			d.gated[t] = false
+		}
+		return
+	}
+	for _, r := range d.untracked {
+		fa[r], sa[r] = nt-nSlow, nSlow
 	}
 
 	// Sharing model (paper §3.2): per-resource E_slow from the counts of
 	// fast-active and slow-active threads.
 	for _, r := range cpu.DCRAResources {
-		fa, sa := 0, 0
-		for t := 0; t < nt; t++ {
-			if !d.active[t][r] {
-				continue
-			}
-			if d.slow[t] {
-				sa++
-			} else {
-				fa++
-			}
-		}
 		factor := d.opt.IQFactor
 		if r == cpu.RIntRegs || r == cpu.RFPRegs {
 			factor = d.opt.RegFactor
 		}
-		d.limits[r] = Eslow(m.Total(r), nt, fa, sa, factor)
+		d.limits[r] = Eslow(m.Total(r), nt, fa[r], sa[r], factor)
 	}
 
 	// Gating decision: a slow thread holding more than its bound of any
@@ -210,6 +237,11 @@ func (d *DCRA) Tick(m *cpu.Machine) {
 		}
 	}
 }
+
+// EnforcesCaps implements cpu.DispatchCapper: unless the dispatch-enforcement
+// ablation is on, Cap returns 0 for every (thread, resource) and the machine
+// may skip the dispatch-stage cap machinery entirely.
+func (d *DCRA) EnforcesCaps() bool { return d.opt.EnforceDispatch }
 
 // Cap implements cpu.Partitioner for the dispatch-enforcement ablation.
 func (d *DCRA) Cap(m *cpu.Machine, t int, r cpu.Resource) int {

@@ -87,6 +87,11 @@ type threadState struct {
 	icacheReadyAt uint64
 	gen           uint32 // squash generation counter
 	parked        bool   // idle context: fetch skips it entirely
+
+	// Fast-forward same-line collapse state, persisted across interleave
+	// quanta within one fast-forward episode (reset by ffRewind).
+	ffLastLine uint64
+	ffLastData uint64
 }
 
 // Machine is one simulated SMT processor running a fixed set of threads.
@@ -271,6 +276,11 @@ func (m *Machine) bindPolicy(pol Policy) {
 	m.part, m.fetchObs, m.loadObs = nil, nil, nil
 	if p, ok := pol.(Partitioner); ok {
 		m.part = p
+		if c, ok := pol.(DispatchCapper); ok && !c.EnforcesCaps() {
+			// Caps are disabled by construction: Cap would return 0 for
+			// every (thread, resource) forever, so skip the machinery.
+			m.part = nil
+		}
 	}
 	if o, ok := pol.(FetchObserver); ok {
 		m.fetchObs = o

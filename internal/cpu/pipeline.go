@@ -130,11 +130,11 @@ func (m *Machine) commit() {
 				break
 			}
 			t := int(t32)
-			e := m.rob[t].head()
-			m.commitEntry(t, e)
-			m.rob[t].popHead()
+			r := m.rob[t] // one ring lookup per committed uop, not three
+			m.commitEntry(t, r.head())
+			r.popHead()
 			budget--
-			if e := m.rob[t].head(); e != nil && e.state == stateDone {
+			if e := r.head(); e != nil && e.state == stateDone {
 				live[n] = t32
 				n++
 			}
@@ -189,29 +189,43 @@ func (m *Machine) commitEntry(t int, e *robEntry) {
 func (m *Machine) issue() {
 	fuLeft := [3]int{m.cfg.IntUnits, m.cfg.FPUnits, m.cfg.LSUnits}
 	budget := m.cfg.IssueWidth
+	// Peek each queue's oldest ready entry once and re-peek only the queue
+	// that issued: nothing during issue makes new entries ready (completion
+	// wakeups land in processEvents, dispatch runs later), so the cached
+	// heads of the other queues cannot change. A queue whose ports are
+	// exhausted is retired from the tournament outright.
+	var oldest [3]int32
+	for q := 0; q < 3; q++ {
+		if fuLeft[q] > 0 {
+			oldest[q] = m.iqs[q].selectOldest()
+		} else {
+			oldest[q] = -1
+		}
+	}
 	for budget > 0 {
 		bestQ := -1
-		var bestIdx int32
 		var bestAge uint64
 		for q := 0; q < 3; q++ {
-			if fuLeft[q] == 0 {
-				continue
-			}
-			idx := m.iqs[q].selectOldest()
+			idx := oldest[q]
 			if idx < 0 {
 				continue
 			}
 			age := m.iqs[q].entries[idx].age
 			if bestQ == -1 || age < bestAge {
-				bestQ, bestIdx, bestAge = q, idx, age
+				bestQ, bestAge = q, age
 			}
 		}
 		if bestQ == -1 {
 			return
 		}
-		m.issueEntry(bestQ, bestIdx)
+		m.issueEntry(bestQ, oldest[bestQ])
 		fuLeft[bestQ]--
 		budget--
+		if fuLeft[bestQ] > 0 {
+			oldest[bestQ] = m.iqs[bestQ].selectOldest()
+		} else {
+			oldest[bestQ] = -1
+		}
 	}
 }
 
@@ -328,6 +342,16 @@ func (m *Machine) dispatch() {
 		}
 		live = append(live, int32(t))
 	}
+	if m.robUsed >= m.cfg.ROBSize {
+		// The shared ROB is exhausted and commit has already run this cycle,
+		// so every live thread would fail tryDispatch at the first check.
+		// Charge the stalls (exactly what the attempt loop would record: one
+		// failed attempt per live thread) and skip the loop.
+		for _, t32 := range live {
+			m.st.Threads[t32].DispatchStalls++
+		}
+		return
+	}
 	for budget > 0 && len(live) > 0 {
 		n := 0
 		for _, t32 := range live {
@@ -353,20 +377,24 @@ func (m *Machine) dispatch() {
 
 // tryDispatch allocates every back-end resource the uop needs, atomically.
 func (m *Machine) tryDispatch(t int, fe *feEntry) bool {
+	// Shared-pool availability, cheapest check first; the queue and register
+	// class are derived only once the preceding check has passed, so a
+	// stalled thread pays for no more classification than it needs.
+	if m.robUsed >= m.cfg.ROBSize {
+		return false
+	}
 	u := &fe.u
 	q := isa.QueueOf(u.Class)
+	if m.iqs[q].full() {
+		return false
+	}
 	destCls := u.DestRegClass()
 	ri := -1
 	if destCls != isa.RegNone {
 		ri = regIndex(destCls)
-	}
-
-	// Shared-pool availability.
-	if m.robUsed >= m.cfg.ROBSize || m.iqs[q].full() {
-		return false
-	}
-	if ri >= 0 && m.regs[ri].available() == 0 {
-		return false
+		if m.regs[ri].available() == 0 {
+			return false
+		}
 	}
 	// Per-thread caps (SRA-style partitioning), hoisted by dispatch.
 	if m.part != nil {

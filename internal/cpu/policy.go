@@ -53,6 +53,18 @@ type Partitioner interface {
 	Cap(m *Machine, t int, r Resource) int
 }
 
+// DispatchCapper is an optional refinement of Partitioner for policies whose
+// cap enforcement can be switched off by construction (DCRA enforces at fetch
+// only unless the dispatch-enforcement ablation is on). When EnforcesCaps
+// reports false, every Cap call would return 0 ("unlimited") for the life of
+// the policy, so the machine drops the partitioner at bind time and dispatch
+// skips both the per-cycle cap hoist and the per-uop cap checks —
+// observationally identical, measurably cheaper.
+type DispatchCapper interface {
+	Partitioner
+	EnforcesCaps() bool
+}
+
 // FetchObserver is implemented by policies that react to individual fetched
 // uops (PDG predicts L1 misses at fetch time).
 type FetchObserver interface {

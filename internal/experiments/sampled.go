@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"dcra/internal/campaign"
+	"dcra/internal/config"
 )
 
 // This file owns the sampled-execution-mode surface of the experiment layer:
@@ -21,10 +22,17 @@ func sampleableCell(c campaign.Cell) bool {
 	return !strings.HasPrefix(c.WID, benchPrefix) && !strings.HasPrefix(c.WID, schedPrefix)
 }
 
-// applyCellMode stamps the suite's execution mode onto one cell.
+// applyCellMode stamps the suite's execution mode — and, when the suite
+// carries an explicit sampling schedule, that schedule — onto one cell. The
+// schedule lands in the cell's config, so it is part of the content key:
+// cells run under different sampling protocols (fixed vs adaptive, or
+// different adaptive knobs) can never collide in a store.
 func (s *Suite) applyCellMode(c campaign.Cell) campaign.Cell {
 	if s.Mode == campaign.ModeSampled && sampleableCell(c) {
-		return c.Sampled()
+		c = c.Sampled()
+		if s.Sampling.Enabled() {
+			c.Cfg.Sampling = s.Sampling
+		}
 	}
 	return c
 }
@@ -34,6 +42,13 @@ func (s *Suite) applyCellMode(c campaign.Cell) campaign.Cell {
 // rest stay exact. ModeExact returns the sweep unchanged. The campaign CLI
 // and the sweep-parity tests share this transformation with Suite.Prefetch.
 func ApplyMode(s campaign.Sweep, mode string) campaign.Sweep {
+	return ApplyModeSampling(s, mode, config.SamplingConfig{})
+}
+
+// ApplyModeSampling is ApplyMode with an explicit sampling schedule stamped
+// onto every sampled cell (the sweep-side counterpart of Suite.Sampling; a
+// zero schedule stamps nothing).
+func ApplyModeSampling(s campaign.Sweep, mode string, sc config.SamplingConfig) campaign.Sweep {
 	if mode == campaign.ModeExact {
 		return s
 	}
@@ -41,6 +56,9 @@ func ApplyMode(s campaign.Sweep, mode string) campaign.Sweep {
 	for i, c := range s.Cells {
 		if mode == campaign.ModeSampled && sampleableCell(c) {
 			c = c.Sampled()
+			if sc.Enabled() {
+				c.Cfg.Sampling = sc
+			}
 		}
 		out.Cells[i] = c
 	}

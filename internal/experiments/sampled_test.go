@@ -1,14 +1,36 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
 	"reflect"
+	"strings"
 	"testing"
+
+	"dcra/internal/campaign"
+	"dcra/internal/config"
+	"dcra/internal/sample"
+	"dcra/internal/sim"
+	"dcra/internal/workload"
 )
 
 // sampledDeterminismSuite is determinismSuite in sampled execution mode.
 func sampledDeterminismSuite(workers int) *Suite {
 	s := determinismSuite(workers)
 	s.Mode = "sampled"
+	return s
+}
+
+// adaptiveDeterminismSuite is sampledDeterminismSuite with the variance-
+// driven protocol stamped on: cells carry the adaptive schedule in their
+// config, exactly as `campaign run -adaptive` produces them.
+func adaptiveDeterminismSuite(workers int) *Suite {
+	s := sampledDeterminismSuite(workers)
+	s.Sampling = sample.DeriveAdaptive(s.Runner.Warmup, s.Runner.Measure).Config()
 	return s
 }
 
@@ -62,6 +84,177 @@ func TestSampledDeterminism(t *testing.T) {
 				t.Errorf("%s: aggregate stats differ between serial and %s", id, name)
 			}
 		}
+	}
+}
+
+// TestAdaptiveDeterminism is TestSampledDeterminism for the variance-driven
+// protocol: the same adaptive cells on a serial engine, a parallel engine
+// sharing the machine pool, and a pool-less runner must agree bit-for-bit —
+// including where the stopping rule landed (the retained window values ARE
+// the observable; a data race or order dependence in the sequential stopping
+// path would move it). Run under -race this exercises the shared pool.
+func TestAdaptiveDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	cells := determinismCells()
+
+	serial := adaptiveDeterminismSuite(1)
+	parallel := adaptiveDeterminismSuite(8)
+	fresh := adaptiveDeterminismSuite(8)
+	fresh.Runner.Pool = nil
+	for _, s := range []*Suite{serial, parallel, fresh} {
+		if err := s.Prefetch(cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, c := range cells {
+		c = serial.applyCellMode(c)
+		rs, err := serial.RunCell(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := c.WID + "/" + c.Pol
+		if rs.Sampled == nil {
+			t.Fatalf("%s: adaptive cell carries no sampling summary", id)
+		}
+		if !rs.Sampled.Params.Adaptive() {
+			t.Fatalf("%s: cell ran the fixed protocol: %+v", id, rs.Sampled.Params)
+		}
+		if k := len(rs.Sampled.WindowThroughput); k < rs.Sampled.Params.MinWindows || k > rs.Sampled.Params.Windows {
+			t.Errorf("%s: retained %d windows, outside [%d, %d]",
+				id, k, rs.Sampled.Params.MinWindows, rs.Sampled.Params.Windows)
+		}
+		for name, other := range map[string]*Suite{"parallel": parallel, "pool-less": fresh} {
+			ro, err := other.RunCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Throughput != ro.Throughput {
+				t.Errorf("%s: throughput %v (serial) != %v (%s)", id, rs.Throughput, ro.Throughput, name)
+			}
+			if !reflect.DeepEqual(rs.Sampled, ro.Sampled) {
+				t.Errorf("%s: sampling summaries differ between serial and %s:\n%+v\nvs\n%+v",
+					id, name, rs.Sampled, ro.Sampled)
+			}
+			if !reflect.DeepEqual(rs.Stats, ro.Stats) {
+				t.Errorf("%s: aggregate stats differ between serial and %s", id, name)
+			}
+		}
+	}
+}
+
+// adaptiveFingerprint runs a small adaptive cell subset and digests the
+// exact float bits of every determinism-relevant observable: throughput,
+// CI half-width, and each retained window value, per cell key.
+func adaptiveFingerprint(t *testing.T) string {
+	t.Helper()
+	s := adaptiveDeterminismSuite(2)
+	cells := determinismCells()[:6]
+	h := sha256.New()
+	for _, c := range cells {
+		c = s.applyCellMode(c)
+		r, err := s.RunCell(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(h, "%s %x %x %x\n", c.Key(),
+			math.Float64bits(r.Throughput),
+			math.Float64bits(r.Sampled.ThroughputCI),
+			len(r.Sampled.WindowThroughput))
+		for _, w := range r.Sampled.WindowThroughput {
+			fmt.Fprintf(h, "%x\n", math.Float64bits(w))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestAdaptiveCrossProcessDeterminism re-executes the test binary twice and
+// compares adaptive fingerprints across the process boundary: the stopping
+// rule must be a pure function of the seeded simulation, with no map-order,
+// address or scheduling dependence leaking into where it stops.
+func TestAdaptiveCrossProcessDeterminism(t *testing.T) {
+	const env = "DCRA_ADAPTIVE_FP_CHILD"
+	const marker = "adaptive-fp: "
+	if os.Getenv(env) == "1" {
+		fmt.Printf("%s%s\n", marker, adaptiveFingerprint(t))
+		return
+	}
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := adaptiveFingerprint(t)
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(exe, "-test.run", "^TestAdaptiveCrossProcessDeterminism$")
+		cmd.Env = append(os.Environ(), env+"=1")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("child %d: %v\n%s", i, err, out)
+		}
+		_, after, found := strings.Cut(string(out), marker)
+		if !found {
+			t.Fatalf("child %d printed no fingerprint:\n%s", i, out)
+		}
+		got, _, _ := strings.Cut(after, "\n")
+		if got != want {
+			t.Errorf("child %d fingerprint %s != in-process %s", i, got, want)
+		}
+	}
+}
+
+// TestAdaptiveStoreSeparation pins the content-key contract that lets exact,
+// fixed-sampled and adaptive-sampled results share one store: the three
+// variants of a cell have pairwise distinct keys, and writing the sampled
+// variants never perturbs the stored exact result. No simulation — the
+// results are fabricated; only keying and store round-trips are under test.
+func TestAdaptiveStoreSeparation(t *testing.T) {
+	cfg := config.Baseline()
+	w, err := workload.Get(2, workload.Kinds[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := cellOf(cfg, w, PolDCRA)
+	fixed := exact.Sampled()
+	adaptive := adaptiveDeterminismSuite(1).applyCellMode(exact)
+	if adaptive.Mode != campaign.ModeSampled || !adaptive.Cfg.Sampling.Enabled() {
+		t.Fatalf("applyCellMode produced no adaptive cell: %+v", adaptive)
+	}
+	keys := map[string]string{
+		exact.Key():    "exact",
+		fixed.Key():    "fixed-sampled",
+		adaptive.Key(): "adaptive-sampled",
+	}
+	if len(keys) != 3 {
+		t.Fatalf("cell variants collide on content keys: %v", keys)
+	}
+
+	st, err := campaign.Open(t.TempDir(), campaign.Params{Warmup: 5_000, Measure: 20_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactResult := sim.Result{Workload: w, Policy: string(PolDCRA), Throughput: 2.5}
+	if err := st.Put(exact, exactResult); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []campaign.Cell{fixed, adaptive} {
+		if st.Has(c) {
+			t.Errorf("%s: present in store before being written", c)
+		}
+		if err := st.Put(c, sim.Result{Workload: w, Policy: string(PolDCRA), Throughput: 9.9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, err := st.Get(exact)
+	if err != nil || !ok {
+		t.Fatalf("exact cell lost after sampled writes: ok=%v err=%v", ok, err)
+	}
+	if got.Throughput != exactResult.Throughput {
+		t.Errorf("exact cell overwritten: throughput %v, want %v", got.Throughput, exactResult.Throughput)
 	}
 }
 

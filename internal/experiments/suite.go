@@ -150,6 +150,13 @@ type Suite struct {
 	// always run exact, so sampled and exact results share reference axes.
 	Mode string
 
+	// Sampling, when non-zero, is the explicit sampling schedule stamped
+	// onto every sampled cell's config (e.g. sample.DeriveAdaptive's
+	// variance-driven protocol). It becomes part of each cell's content
+	// key, so stores never mix results from different protocols. Zero
+	// leaves cells deriving the fixed schedule from the Runner's windows.
+	Sampling config.SamplingConfig
+
 	// SchedFFDrain runs "sched:" trial cells with sched.Config.FFDrain:
 	// each trial's tail (all jobs arrived, none queued) fast-forwards
 	// functionally instead of simulating in detail. Drained trials report

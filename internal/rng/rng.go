@@ -190,6 +190,17 @@ func NewGeomDist(m float64) *GeomDist {
 	return actual.(*GeomDist)
 }
 
+// Skip advances s exactly as Sample would — one uniform draw when the
+// distribution is non-trivial, none otherwise — without the CDF search.
+// Bulk stream skims use it when they need the generator state moved but
+// not the sampled value: draw sequences stay bit-identical to Sample at a
+// fraction of the cost.
+func (g *GeomDist) Skip(s *Source) {
+	if g.cdf != nil {
+		s.Float64()
+	}
+}
+
 // Sample draws from the distribution using randomness from s. It consumes
 // exactly one Float64, like Source.Geometric.
 func (g *GeomDist) Sample(s *Source) int {

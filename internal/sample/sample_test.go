@@ -89,6 +89,59 @@ func TestRunDeterminism(t *testing.T) {
 	}
 }
 
+// TestAdaptiveStopping drives both edges of the sequential stopping rule.
+// The retained window count must be a pure function of observed variance
+// versus the target: a target tighter than any real cell's window variance
+// can satisfy is the forced-high-variance case — every stopping check sees a
+// relative CI far above target — and must run to the hard cap rather than
+// extend forever; a target wider than the floor-count CI stops the run at
+// MinWindows. Both runs use the same seed, so the divergence is purely the
+// stopping rule's.
+func TestAdaptiveStopping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+	base := DeriveAdaptive(5_000, 20_000)
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !base.Adaptive() || base.MinWindows >= base.Windows {
+		t.Fatalf("DeriveAdaptive yielded no adaptive headroom: %+v", base)
+	}
+
+	capped := base
+	capped.TargetRelCIPpm = 1 // 0.0001% of mean: unreachably tight
+	capSum, _, err := Run(testMachine(t), capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(capSum.WindowThroughput); got != capped.Windows {
+		t.Errorf("unreachable target retained %d windows, want the cap %d", got, capped.Windows)
+	}
+
+	floor := base
+	floor.TargetRelCIPpm = 100_000_000 // 10000% of mean: met at the first check
+	floorSum, _, err := Run(testMachine(t), floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(floorSum.WindowThroughput); got != floor.MinWindows {
+		t.Errorf("trivial target retained %d windows, want the floor %d", got, floor.MinWindows)
+	}
+	if floorSum.DetailedCycles >= capSum.DetailedCycles {
+		t.Errorf("floor stop spent %d detailed cycles, cap run %d — stopping saved nothing",
+			floorSum.DetailedCycles, capSum.DetailedCycles)
+	}
+	// Early stop skips the trailing gap: the floor run's windows must agree
+	// bit-for-bit with the cap run's first MinWindows values (the schedule
+	// prefix is identical; only the decision to continue differs).
+	for i, w := range floorSum.WindowThroughput {
+		if w != capSum.WindowThroughput[i] {
+			t.Errorf("window %d: floor run %v != cap run %v", i, w, capSum.WindowThroughput[i])
+		}
+	}
+}
+
 // TestSummaryInvariants checks the summary's internal consistency: the mean
 // is the mean of the retained windows, intervals scale from the standard
 // error, and the aggregate counts match the schedule.

@@ -43,6 +43,11 @@ type Stream struct {
 	// seed for per-site branch bias hashing, fixed per stream.
 	siteSeed uint64
 
+	// skim, set for the duration of a SkipUops call, elides the
+	// dependency-distance CDF searches (the draws still happen; see
+	// depDistance). Never set on any path that observes uop content.
+	skim bool
+
 	// Precomputed geometric samplers for the profile's fixed means (shared
 	// across streams; see rng.NewGeomDist).
 	depDist   *rng.GeomDist
@@ -228,6 +233,51 @@ func (s *Stream) SkipUop(u *isa.Uop) {
 	if s.base != s.next {
 		panic(fmt.Sprintf("trace: SkipUop with retained uops [%d,%d)", s.base, s.next))
 	}
+	s.skipOne(u)
+}
+
+// SkipUops discards n consecutive frontier uops — the exact draw sequence
+// of n SkipUop calls with the per-call validation hoisted out of the loop.
+// u is scratch space; unlike SkipUop it is NOT a faithful synthesis: the
+// dependency-distance fields are left zero (their geometric draws advance
+// the RNG identically but skip the CDF search — see rng.GeomDist.Skip),
+// because no caller observes them. Callers that need complete uops
+// (functional warming) use SkipUop per uop instead. This is the
+// bulk-advance primitive behind warm-tail fast-forward, where the gap body
+// only needs the stream cursor and RNG state moved, not the uops
+// themselves.
+func (s *Stream) SkipUops(n uint64, u *isa.Uop) {
+	if n == 0 {
+		return
+	}
+	if s.base != s.next {
+		panic(fmt.Sprintf("trace: SkipUops with retained uops [%d,%d)", s.base, s.next))
+	}
+	s.skim = true
+	defer func() { s.skim = false }()
+	for i := uint64(0); i < n; i++ {
+		s.skipOne(u)
+	}
+}
+
+// SkipUopWarm is SkipUop for functional warming: the uop's control and
+// memory content (PC, class, effective address, branch direction and
+// target) is synthesised faithfully, but the dependency-distance CDF
+// searches are elided like SkipUops' (the draws still advance the RNG
+// identically). Warming feeds caches, TLBs and predictors — it never reads
+// operand dependencies, which only exist for the detailed pipeline.
+func (s *Stream) SkipUopWarm(u *isa.Uop) {
+	if s.base != s.next {
+		panic(fmt.Sprintf("trace: SkipUopWarm with retained uops [%d,%d)", s.base, s.next))
+	}
+	s.skim = true
+	s.skipOne(u)
+	s.skim = false
+}
+
+// skipOne synthesises the frontier uop into u and consumes it. The caller
+// has checked that no retained uops remain.
+func (s *Stream) skipOne(u *isa.Uop) {
 	p := &s.prof
 
 	s.phaseLeft--
@@ -397,6 +447,12 @@ func (s *Stream) genDeps(u *isa.Uop) {
 }
 
 func (s *Stream) depDistance() uint16 {
+	if s.skim {
+		// Bulk skim (SkipUops): consume the draw so the stream stays
+		// bit-identical, but skip the CDF search — nothing reads the value.
+		s.depDist.Skip(s.rg)
+		return 0
+	}
 	d := s.depDist.Sample(s.rg)
 	if d > int(s.next) { // cannot reach before the start of the program
 		d = int(s.next)
