@@ -1,0 +1,102 @@
+// benchjson -diff: compare two trajectory points and flag regressions, so
+// CI and PR review can read "what moved" without eyeballing raw JSON.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// MetricDelta is one compared metric between two bench records.
+type MetricDelta struct {
+	Name string
+	// Old and New are the metric values; Pct is (new-old)/old in percent
+	// (NaN when old is zero).
+	Old, New float64
+	Pct      float64
+	// LowerBetter orients the regression test; Regressed is set when the
+	// metric moved the wrong way past the threshold.
+	LowerBetter bool
+	Regressed   bool
+}
+
+// diffRecords compares the perf-tracked metrics of two records. threshold is
+// the relative change (e.g. 0.10) past which a wrong-direction move counts
+// as a regression. Parity is a hard gate: all_within=true degrading to false
+// is always a regression, no threshold.
+func diffRecords(old, new Record, threshold float64) (deltas []MetricDelta, regressed bool) {
+	add := func(name string, o, n float64, lowerBetter bool) {
+		d := MetricDelta{Name: name, Old: o, New: n, LowerBetter: lowerBetter, Pct: math.NaN()}
+		if o != 0 {
+			d.Pct = 100 * (n - o) / o
+			moved := (n - o) / o
+			if lowerBetter && moved > threshold {
+				d.Regressed = true
+			}
+			if !lowerBetter && moved < -threshold {
+				d.Regressed = true
+			}
+		}
+		regressed = regressed || d.Regressed
+		deltas = append(deltas, d)
+	}
+	add("ns_per_cycle", old.NsPerCycle, new.NsPerCycle, true)
+	add("figure5_quick_seconds", old.Figure5Seconds, new.Figure5Seconds, true)
+	add("figure5_alloc_bytes", float64(old.Figure5AllocBytes), float64(new.Figure5AllocBytes), true)
+	add("figure5_allocs", float64(old.Figure5Allocs), float64(new.Figure5Allocs), true)
+	add("figure5_sampled_quick_seconds", old.SampledSeconds, new.SampledSeconds, true)
+	add("figure5_sampled_speedup", old.SampledSpeedup, new.SampledSpeedup, false)
+	add("sampled_detailed_cycle_fraction", old.DetailedFraction, new.DetailedFraction, true)
+	add("fig5_hmean_vs_icount_pct", old.VsICount, new.VsICount, false)
+
+	if old.Parity.AllWithin && !new.Parity.AllWithin {
+		deltas = append(deltas, MetricDelta{Name: "fig5_sampled_parity.all_within", Old: 1, New: 0, Regressed: true})
+		regressed = true
+	}
+	return deltas, regressed
+}
+
+// runDiff is the -diff entry point: load both records, print the table,
+// exit 1 on regression.
+func runDiff(oldPath, newPath string, threshold float64) {
+	old, err := readRecord(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	rec, err := readRecord(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	deltas, regressed := diffRecords(old, rec, threshold)
+	fmt.Printf("benchjson: %s -> %s (threshold %.0f%%)\n", oldPath, newPath, 100*threshold)
+	for _, d := range deltas {
+		mark := " "
+		if d.Regressed {
+			mark = "!"
+		}
+		pct := "n/a"
+		if !math.IsNaN(d.Pct) {
+			pct = fmt.Sprintf("%+.1f%%", d.Pct)
+		}
+		fmt.Printf("%s %-34s %14.4g -> %-14.4g %s\n", mark, d.Name, d.Old, d.New, pct)
+	}
+	if regressed {
+		fmt.Println("benchjson: REGRESSION (metrics marked '!')")
+		os.Exit(1)
+	}
+	fmt.Println("benchjson: no regressions")
+}
+
+func readRecord(path string) (Record, error) {
+	var rec Record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return rec, nil
+}

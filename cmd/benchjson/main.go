@@ -10,6 +10,7 @@
 //	benchjson                      # writes bench.json in the working dir
 //	benchjson -out BENCH_PR2.json  # the committed per-PR trajectory points
 //	benchjson -cycles 2000000      # longer simulator-speed measurement
+//	benchjson -diff A.json B.json  # per-metric deltas; exit 1 on regression
 package main
 
 import (
@@ -78,8 +79,17 @@ func main() {
 	var (
 		out    = flag.String("out", "bench.json", "output JSON path")
 		cycles = flag.Uint64("cycles", 1_000_000, "cycles for the simulator-speed measurement")
+		diff   = flag.Bool("diff", false, "compare two trajectory points: benchjson -diff OLD.json NEW.json")
+		thresh = flag.Float64("threshold", 0.10, "with -diff: relative wrong-direction move that counts as a regression")
 	)
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two record paths, got %d", flag.NArg()))
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *thresh)
+		return
+	}
 	if *cycles == 0 {
 		fatal(fmt.Errorf("-cycles must be > 0"))
 	}

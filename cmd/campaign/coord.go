@@ -52,9 +52,13 @@ func cmdCoordinate(args []string) {
 		speculate  = fs.Duration("speculate", 0, "re-dispatch a straggling lease to a second worker after this long (0 = default)")
 		deadline   = fs.Duration("deadline", 0, "campaign deadline; on expiry drain leases and render what completed (0 = none)")
 		grace      = fs.Duration("grace", 30*time.Second, "drain grace: how long to wait for in-flight leases on deadline/SIGTERM")
-		checkpoint = fs.String("checkpoint", "", "coordinator checkpoint file (default <store>/coordinator.json)")
-		seed       = fs.Uint64("seed", 1, "backoff jitter seed")
-		sflags     = addSuiteFlags(fs)
+		checkpoint  = fs.String("checkpoint", "", "coordinator checkpoint file (default <store>/coordinator.json)")
+		seed        = fs.Uint64("seed", 1, "backoff jitter seed")
+		healthEvery = fs.Duration("health-every", 2*time.Second, "health ring tick interval (windowed rates for /status and `campaign top`)")
+		sloP        = fs.Float64("cell-slo-p", 0.99, "cell-latency SLO quantile")
+		sloMs       = fs.Int64("cell-slo-ms", 0, "cell-latency SLO target in ms; 0 disables the objective")
+		sloWindow   = fs.Int("cell-slo-window", 30, "cell-latency SLO sliding window, in health intervals")
+		sflags      = addSuiteFlags(fs)
 	)
 	fs.Parse(args)
 
@@ -89,6 +93,19 @@ func cmdCoordinate(args []string) {
 	}
 	s.Instrument(reg, tracer)
 
+	// The flight recorder is always on: recording is a mutex and a slot
+	// write, and the ring only reaches disk when the campaign aborts.
+	flight := obs.NewFlightRecorder(512)
+	flightPath := filepath.Join(*storeDir, "flightrec.json")
+	dumpFlight := func(reason string) {
+		if err := flight.WriteFile(flightPath, reason); err != nil {
+			fmt.Fprintln(os.Stderr, "coordinate: writing flight record:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "coordinate: wrote flight record %s (%d events, reason: %s)\n",
+			flightPath, flight.Len(), reason)
+	}
+
 	logger := log.New(os.Stderr, "coordinate: ", log.LstdFlags)
 	co, err := coord.New(spec.Key, sweep, st, coord.Options{
 		RangeSize:      *rangeSize,
@@ -102,6 +119,8 @@ func cmdCoordinate(args []string) {
 		Logf:           logger.Printf,
 		Obs:            reg,
 		Tracer:         tracer,
+		Flight:         flight,
+		CellSLO:        coord.CellSLO{Quantile: *sloP, TargetMs: *sloMs, Window: *sloWindow},
 	})
 	if err != nil {
 		fatal(err)
@@ -130,7 +149,11 @@ func cmdCoordinate(args []string) {
 	}
 	tick := time.NewTicker(200 * time.Millisecond)
 	defer tick.Stop()
+	co.HealthTick() // the zero baseline; windowed rates measure from here
+	healthTick := time.NewTicker(*healthEvery)
+	defer healthTick.Stop()
 	drained := false
+	aborted := ""
 wait:
 	for {
 		select {
@@ -138,22 +161,26 @@ wait:
 			if co.Status().Complete() {
 				break wait
 			}
+		case <-healthTick.C:
+			co.HealthTick()
 		case <-timeout:
 			logger.Printf("deadline reached, draining (grace %s)", *grace)
-			drained = true
+			drained, aborted = true, "campaign deadline reached"
 			co.Drain()
 			co.WaitIdle(*grace)
 			break wait
 		case s := <-sig:
 			logger.Printf("%s received, draining (grace %s)", s, *grace)
-			drained = true
+			drained, aborted = true, s.String()+" received"
 			co.Drain()
 			co.WaitIdle(*grace)
 			break wait
 		case err := <-serveErr:
+			dumpFlight("coordinator HTTP server died: " + err.Error())
 			fatal(fmt.Errorf("coordinator HTTP server: %w", err))
 		}
 	}
+	co.HealthTick() // close the final interval before reporting
 	// Let workers see StateDone/Cancel before the listener goes away, then
 	// stop accepting. Lingering workers just observe a dead coordinator and
 	// retry into their retry window — the campaign state is already safe.
@@ -168,13 +195,24 @@ wait:
 	missing := co.Missing()
 	logger.Printf("campaign %s: %d/%d cells complete, %d missing, %d retries",
 		spec.Key, status.Done, status.Total, len(missing), status.Retries)
+	if drained && len(missing) == 0 {
+		// Aborted but nothing lost: the flight record still documents how
+		// the campaign wound down.
+		dumpFlight(aborted + " (all cells complete)")
+	}
 	if len(missing) > 0 {
 		for _, c := range missing {
 			fmt.Fprintf(os.Stderr, "coordinate: missing %s (out of retry budget or deadline)\n", c)
 		}
-		// Keep the partial trace: the lease spans of a campaign that ran out
-		// of budget are exactly what a post-mortem wants to look at.
+		// Keep the partial trace and the flight record: the lease spans and
+		// last control-plane events of a campaign that ran out of budget are
+		// exactly what a post-mortem wants to look at.
 		writeTrace(tracer, *sflags.trace)
+		reason := fmt.Sprintf("%d of %d cells missing", len(missing), status.Total)
+		if aborted != "" {
+			reason += " after " + aborted
+		}
+		dumpFlight(reason)
 		fatal(fmt.Errorf("%d of %d cells missing; store %s holds the completed subset (re-run to resume)",
 			len(missing), status.Total, *storeDir))
 	}
@@ -220,6 +258,18 @@ func coordinatorStatus(url string) {
 	if s.Quarantined > 0 {
 		fmt.Printf("  %d corrupt cell files quarantined by the coordinator's store this run\n", s.Quarantined)
 	}
+	if h := s.Health; h != nil {
+		fmt.Printf("  health: %.2f cells/s over %.1fs window (%d done, %d leases granted, %d expired, %d failed)\n",
+			h.CellsPerSec, float64(h.WindowMs)/1e3, h.CellsDone, h.LeasesGranted, h.LeasesExpired, h.LeasesFailed)
+		if h.SLO != nil {
+			state := "met"
+			if !h.SLO.Met {
+				state = "BREACHED"
+			}
+			fmt.Printf("  cell SLO p%g <= %dus: %s (attained %.4f over %d cells, burn %.2fx)\n",
+				h.SLO.Quantile*100, h.SLO.Target, state, h.SLO.Attained, h.SLO.Observations, h.SLO.Burn)
+		}
+	}
 	if s.Draining {
 		fmt.Println("  coordinator is draining: no new leases")
 	}
@@ -242,6 +292,7 @@ func cmdWork(args []string) {
 		id          = fs.String("id", "", "worker name (default host:pid)")
 		faultSpec   = fs.String("fault", "", "fault to self-inject, for chaos drills: kind[:after=N][:delay=D] (kinds: "+faults.KindList()+")")
 		retryWindow = fs.Duration("retry-window", 0, "keep retrying an unreachable coordinator this long before giving up (0 = default)")
+		flightPath  = fs.String("flightrec", "", "dump the worker's flight record here on failure (empty = disabled)")
 	)
 	fs.Parse(args)
 	if *coordinator == "" {
@@ -271,6 +322,19 @@ func cmdWork(args []string) {
 		},
 		RetryWindow: *retryWindow,
 	}
+	if *flightPath != "" {
+		w.Flight = obs.NewFlightRecorder(256)
+	}
+	dumpWorkerFlight := func(reason string) {
+		if *flightPath == "" {
+			return
+		}
+		if err := w.Flight.WriteFile(*flightPath, reason); err != nil {
+			fmt.Fprintln(os.Stderr, "work: writing flight record:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "work: %s: wrote flight record %s (%d events)\n", *id, *flightPath, w.Flight.Len())
+	}
 	if *faultSpec != "" {
 		f, err := faults.Parse(*faultSpec)
 		if err != nil {
@@ -289,9 +353,11 @@ func cmdWork(args []string) {
 		// The injected crash: die abruptly, mid-lease, without a Fail call —
 		// exactly what a SIGKILLed or OOM-killed worker looks like.
 		fmt.Fprintf(os.Stderr, "work: %s: killed by injected fault\n", *id)
+		dumpWorkerFlight("killed by injected fault")
 		os.Exit(137)
 	}
 	if err != nil {
+		dumpWorkerFlight("worker failed: " + err.Error())
 		fatal(err)
 	}
 	if w.Missing > 0 {

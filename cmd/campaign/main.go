@@ -63,13 +63,15 @@ func main() {
 		cmdCoordinate(os.Args[2:])
 	case "work":
 		cmdWork(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status|render|gc|coordinate|work> [flags]
+	fmt.Fprintln(os.Stderr, `usage: campaign <run|merge|status|render|gc|coordinate|work|top> [flags]
 
   run        -exp KEY [-quick] [-warmup N -measure N] [-store DIR]
              [-shards N -shard I -out FILE] [-require-store] [-trace FILE]
@@ -81,8 +83,11 @@ func usage() {
   coordinate -addr HOST:PORT -exp KEY -store DIR [protocol flags]
              [-range N -ttl D -retries N -backoff D -backoff-max D]
              [-speculate D -deadline D -grace D -checkpoint FILE -seed N]
+             [-health-every D -cell-slo-p Q -cell-slo-ms N -cell-slo-window N]
              [-trace FILE]
-  work       -coordinator URL [-id NAME] [-fault SPEC] [-retry-window D]`)
+  work       -coordinator URL [-id NAME] [-fault SPEC] [-retry-window D]
+             [-flightrec FILE]
+  top        -coordinator URL [-interval D] [-n N]`)
 	os.Exit(2)
 }
 

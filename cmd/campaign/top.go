@@ -1,0 +1,197 @@
+// `campaign top`: a refreshing terminal view of a live coordinated
+// campaign, assembled from the coordinator's /v1/status report and /metrics
+// snapshot — per-worker lease throughput, retry/quarantine counts, straggler
+// age and SLO burn, the fleet-health layer's answer to watching a campaign
+// without tailing coordinator logs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"dcra/internal/coord"
+	"dcra/internal/obs"
+)
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("campaign top", flag.ExitOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL, e.g. http://host:8123")
+		interval    = fs.Duration("interval", 2*time.Second, "refresh interval")
+		iters       = fs.Int("n", 0, "refresh this many times then exit (0 = until the campaign completes)")
+	)
+	fs.Parse(args)
+	if *coordinator == "" {
+		fatal(fmt.Errorf("top needs -coordinator URL"))
+	}
+
+	t := &coord.HTTPTransport{Base: *coordinator}
+	for i := 0; ; i++ {
+		status, err := t.Status()
+		if err != nil {
+			fatal(fmt.Errorf("querying coordinator %s: %w", *coordinator, err))
+		}
+		snap, err := fetchMetrics(*coordinator)
+		if err != nil {
+			fatal(fmt.Errorf("querying coordinator %s: %w", *coordinator, err))
+		}
+		view := topView(status, snap)
+		if *iters != 1 {
+			// Home the cursor and clear to the end so the view refreshes in
+			// place; a single-shot run prints plainly (scripts, CI).
+			fmt.Print("\033[H\033[2J")
+		}
+		fmt.Print(view)
+		if status.Complete() {
+			fmt.Println("campaign complete")
+			return
+		}
+		if *iters > 0 && i+1 >= *iters {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchMetrics pulls the coordinator's JSON metrics snapshot.
+func fetchMetrics(base string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := http.Get(strings.TrimSuffix(base, "/") + "/metrics")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("decoding /metrics: %w", err)
+	}
+	return snap, nil
+}
+
+// topView renders one frame of the fleet view from a status report and a
+// metrics snapshot. Pure, so tests can drive it with fixtures.
+func topView(s coord.StatusResponse, snap obs.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %s (sweep %s)  %s\n", s.Campaign, s.SweepHash, time.Now().Format("15:04:05"))
+	fmt.Fprintf(&b, "%s %d/%d done  %d leased  %d pending  %d exhausted  %d retries",
+		progressBar(s.Done, s.Total, 30), s.Done, s.Total, s.Leased, s.Pending, s.Exhausted, s.Retries)
+	if s.Quarantined > 0 {
+		fmt.Fprintf(&b, "  %d quarantined", s.Quarantined)
+	}
+	if s.Draining {
+		b.WriteString("  DRAINING")
+	}
+	b.WriteByte('\n')
+
+	if h := s.Health; h != nil {
+		fmt.Fprintf(&b, "window %.0fs: %.2f cells/s  +%d cells  +%d leases  %d expired  %d failed  %d speculated\n",
+			float64(h.WindowMs)/1e3, h.CellsPerSec, h.CellsDone,
+			h.LeasesGranted, h.LeasesExpired, h.LeasesFailed, h.Speculated)
+		if slo := h.SLO; slo != nil {
+			state := "met"
+			if !slo.Met {
+				state = "BREACHED"
+			}
+			fmt.Fprintf(&b, "cell SLO p%g <= %dus: %s  attained %.4f (%d cells)  burn %.2fx\n",
+				slo.Quantile*100, slo.Target, state, slo.Attained, slo.Observations, slo.Burn)
+		}
+	}
+
+	// Per-worker cell throughput from the cumulative counters; workers are
+	// listed busiest first.
+	type workerRow struct {
+		name  string
+		cells int64
+	}
+	var workers []workerRow
+	for name, v := range snap.Counters {
+		if n, ok := strings.CutPrefix(name, "coord.worker.cells."); ok {
+			workers = append(workers, workerRow{n, v})
+		}
+	}
+	sort.Slice(workers, func(i, j int) bool {
+		if workers[i].cells != workers[j].cells {
+			return workers[i].cells > workers[j].cells
+		}
+		return workers[i].name < workers[j].name
+	})
+	if len(workers) > 0 {
+		b.WriteString("\nWORKER            CELLS  LEASE                AGE      EXPIRES\n")
+	}
+	leaseByWorker := make(map[string]coord.LeaseInfo)
+	for _, l := range s.Leases {
+		// Keep the oldest lease per worker: that is the straggler candidate.
+		if cur, ok := leaseByWorker[l.Worker]; !ok || l.AgeMs > cur.AgeMs {
+			leaseByWorker[l.Worker] = l
+		}
+	}
+	for _, w := range workers {
+		if l, ok := leaseByWorker[w.name]; ok {
+			fmt.Fprintf(&b, "%-16s %6d  %-20s %-8s %s\n", w.name, w.cells,
+				fmt.Sprintf("%s [%d,%d)", l.LeaseID, l.Range[0], l.Range[1]),
+				fmtMs(l.AgeMs), fmtMs(l.ExpireMs))
+			delete(leaseByWorker, w.name)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s %6d  %-20s\n", w.name, w.cells, "idle")
+	}
+	// Leases held by workers that have not completed a cell yet.
+	var rest []coord.LeaseInfo
+	for _, l := range leaseByWorker {
+		rest = append(rest, l)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].Worker < rest[j].Worker })
+	for _, l := range rest {
+		fmt.Fprintf(&b, "%-16s %6d  %-20s %-8s %s\n", l.Worker, 0,
+			fmt.Sprintf("%s [%d,%d)", l.LeaseID, l.Range[0], l.Range[1]),
+			fmtMs(l.AgeMs), fmtMs(l.ExpireMs))
+	}
+
+	// The straggler line: the oldest outstanding lease fleet-wide.
+	var oldest *coord.LeaseInfo
+	for i := range s.Leases {
+		if oldest == nil || s.Leases[i].AgeMs > oldest.AgeMs {
+			oldest = &s.Leases[i]
+		}
+	}
+	if oldest != nil {
+		fmt.Fprintf(&b, "\noldest lease: %s on %s, out %s (expires %s)\n",
+			oldest.LeaseID, oldest.Worker, fmtMs(oldest.AgeMs), fmtMs(oldest.ExpireMs))
+	}
+	if n := len(s.MissingKeys); n > 0 {
+		fmt.Fprintf(&b, "exhausted cells: %d listed (see campaign status)\n", n)
+	}
+	return b.String()
+}
+
+// progressBar renders done/total as a fixed-width bar.
+func progressBar(done, total, width int) string {
+	if total <= 0 {
+		return "[" + strings.Repeat(" ", width) + "]"
+	}
+	fill := done * width / total
+	if fill > width {
+		fill = width
+	}
+	return "[" + strings.Repeat("#", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+// fmtMs renders a millisecond count the way a human scans it.
+func fmtMs(ms int64) string {
+	d := time.Duration(ms) * time.Millisecond
+	switch {
+	case d < 0:
+		return "overdue"
+	case d < 10*time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	default:
+		return d.Round(time.Second).String()
+	}
+}

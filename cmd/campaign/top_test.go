@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dcra/internal/coord"
+	"dcra/internal/obs"
+)
+
+func TestTopView(t *testing.T) {
+	slo := &obs.SLOStatus{
+		SLO:          obs.SLO{Metric: "coord.cell.us", Quantile: 0.99, Target: 500_000, Window: 30},
+		Observations: 40,
+		Attained:     0.975,
+		Burn:         2.5,
+		Met:          false,
+	}
+	s := coord.StatusResponse{
+		Campaign:  "fig5",
+		SweepHash: "abc123",
+		Total:     100,
+		Done:      60,
+		Leased:    8,
+		Pending:   30,
+		Exhausted: 2,
+		Retries:   5,
+		Leases: []coord.LeaseInfo{
+			{LeaseID: "w1-7", Worker: "w1", Range: [2]int{64, 72}, AgeMs: 125_000, ExpireMs: 4_000},
+			{LeaseID: "w2-9", Worker: "w2", Range: [2]int{72, 80}, AgeMs: 1_500, ExpireMs: -200},
+		},
+		Quarantined: 1,
+		MissingKeys: []string{"k1", "k2"},
+		Health: &coord.HealthInfo{
+			Intervals:     12,
+			WindowMs:      24_000,
+			CellsDone:     18,
+			CellsPerSec:   0.75,
+			LeasesGranted: 3,
+			LeasesExpired: 1,
+			SLO:           slo,
+		},
+	}
+	snap := obs.Snapshot{Counters: map[string]int64{
+		"coord.worker.cells.w1": 35,
+		"coord.worker.cells.w2": 25,
+		"coord.cells.done":      60,
+	}}
+
+	out := topView(s, snap)
+	for _, want := range []string{
+		"campaign fig5 (sweep abc123)",
+		"60/100 done",
+		"8 leased  30 pending  2 exhausted  5 retries  1 quarantined",
+		"window 24s: 0.75 cells/s",
+		"cell SLO p99 <= 500000us: BREACHED",
+		"burn 2.50x",
+		"w1                   35",
+		"w2                   25",
+		"w1-7 [64,72)",
+		"oldest lease: w1-7 on w1, out 2m5s",
+		"exhausted cells: 2 listed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top view missing %q:\n%s", want, out)
+		}
+	}
+	// The busiest worker sorts first.
+	if strings.Index(out, "w1 ") > strings.Index(out, "w2 ") {
+		t.Errorf("workers not sorted busiest-first:\n%s", out)
+	}
+	// Overdue leases render as overdue, not negative durations.
+	if !strings.Contains(out, "overdue") || strings.Contains(out, "-200") {
+		t.Errorf("overdue lease not flagged:\n%s", out)
+	}
+
+	// A worker holding a lease but with no completed cells still shows up.
+	s.Leases = append(s.Leases, coord.LeaseInfo{LeaseID: "w3-1", Worker: "w3", Range: [2]int{80, 88}, AgeMs: 100, ExpireMs: 900})
+	out = topView(s, snap)
+	if !strings.Contains(out, "w3-1 [80,88)") {
+		t.Errorf("leased-but-idle worker missing:\n%s", out)
+	}
+
+	// Degenerate inputs must not panic or divide by zero.
+	empty := topView(coord.StatusResponse{}, obs.Snapshot{})
+	if !strings.Contains(empty, "0/0 done") {
+		t.Errorf("empty view: %q", empty)
+	}
+}
+
+func TestProgressBar(t *testing.T) {
+	if got := progressBar(5, 10, 10); got != "[#####.....]" {
+		t.Errorf("progressBar(5,10,10) = %q", got)
+	}
+	if got := progressBar(0, 0, 4); got != "[    ]" {
+		t.Errorf("progressBar(0,0,4) = %q", got)
+	}
+	if got := progressBar(20, 10, 4); got != "[####]" {
+		t.Errorf("overfull bar = %q", got)
+	}
+}

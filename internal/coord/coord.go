@@ -83,6 +83,13 @@ type Options struct {
 	// Tracer, when set, records lease lifecycles and worker-reported
 	// cell execution as Chrome trace-event spans, one lane per worker.
 	Tracer *obs.Tracer
+	// Flight, when set, receives control-plane events (lease grants,
+	// expiries, retries, exhaustions, rejected payloads, drains, SLO
+	// breaches) into a bounded ring; abort paths dump it for postmortems.
+	Flight *obs.FlightRecorder
+	// CellSLO, when declared (and Obs is set), is the wall-clock
+	// cell-latency objective HealthTick evaluates over the health ring.
+	CellSLO CellSLO
 }
 
 func (o Options) withDefaults() Options {
@@ -162,8 +169,9 @@ type Coordinator struct {
 	exhaust  int
 	retries  int
 
-	o     coordObs
-	lanes map[string]int // trace lane per worker, in first-contact order
+	o      coordObs
+	lanes  map[string]int // trace lane per worker, in first-contact order
+	health *obs.Ring      // wall-clock ring of Obs snapshots; nil uninstrumented
 }
 
 // Trace pid lane groups of a coordinator trace: lease lifecycles and
@@ -178,7 +186,7 @@ const (
 type coordObs struct {
 	leasesGranted, leasesExpired, leasesFailed, speculated *obs.Counter
 	heartbeats, verifyFailures                             *obs.Counter
-	cellsDone, cellsDuplicate                              *obs.Counter
+	cellsDone, cellsDuplicate, sloBreaches                 *obs.Counter
 	cellUS                                                 *obs.Histogram
 }
 
@@ -235,7 +243,11 @@ func New(name string, sweep campaign.Sweep, st *campaign.Store, opts Options) (*
 		verifyFailures: opts.Obs.Counter("coord.verify.failures"),
 		cellsDone:      opts.Obs.Counter("coord.cells.done"),
 		cellsDuplicate: opts.Obs.Counter("coord.cells.duplicate"),
+		sloBreaches:    opts.Obs.Counter("coord.slo.breaches"),
 		cellUS:         opts.Obs.Histogram("coord.cell.us", obs.DurationBounds),
+	}
+	if opts.Obs != nil {
+		c.health = obs.NewRing(coordHealthRingCap)
 	}
 	opts.Tracer.Process(TracePIDLeases, "coordinator leases")
 	opts.Tracer.Process(TracePIDCells, "worker cells")
@@ -285,6 +297,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 		delete(c.leases, id)
 		c.o.leasesExpired.Inc()
 		c.traceLeaseLocked(l, now, "expired")
+		c.flightf("lease-expired", "lease %s (%s, range %d) missed its heartbeat deadline", l.id, l.worker, l.r)
 		c.failLeaseLocked(l, now, "lease expired")
 	}
 }
@@ -304,6 +317,7 @@ func (c *Coordinator) failLeaseLocked(l *lease, now time.Time, why string) {
 			cs.exhausted = true
 			c.exhaust++
 			c.logf("cell %s exhausted its retry budget (%d attempts)", cs.cell, cs.attempts)
+			c.flightf("cell-exhausted", "cell %s gave up after %d attempts", cs.cell, cs.attempts)
 		}
 	}
 	r := &c.ranges[l.r]
@@ -312,6 +326,8 @@ func (c *Coordinator) failLeaseLocked(l *lease, now time.Time, why string) {
 	r.notBefore = now.Add(backoff)
 	c.retries++
 	c.logf("lease %s (%s, range %d, %d cells left): %s; range backs off %v",
+		l.id, l.worker, l.r, incomplete, why, backoff)
+	c.flightf("retry", "lease %s (%s, range %d, %d cells left): %s; backoff %v",
 		l.id, l.worker, l.r, incomplete, why, backoff)
 	c.saveCheckpointLocked()
 }
@@ -392,6 +408,8 @@ func (c *Coordinator) Lease(req LeaseRequest) LeaseResponse {
 		c.logf("straggler: range %d leased to %s for %v, re-dispatching to %s",
 			straggler.r, straggler.worker, c.now().Sub(straggler.issued), req.Worker)
 		c.o.speculated.Inc()
+		c.flightf("speculate", "range %d straggling on %s for %v, re-dispatched to %s",
+			straggler.r, straggler.worker, now.Sub(straggler.issued), req.Worker)
 		return c.grantLocked(req.Worker, straggler.r, c.pendingLocked(r), r.attempts, now)
 	}
 
@@ -424,6 +442,8 @@ func (c *Coordinator) grantLocked(worker string, ri int, idx []int, attempt int,
 		g.Cells = append(g.Cells, c.cells[i].cell)
 	}
 	c.logf("lease %s: range %d [%d,%d) -> %s (%d cells, attempt %d)",
+		l.id, ri, g.Range[0], g.Range[1], worker, len(g.Cells), attempt)
+	c.flightf("lease", "lease %s: range %d [%d,%d) -> %s (%d cells, attempt %d)",
 		l.id, ri, g.Range[0], g.Range[1], worker, len(g.Cells), attempt)
 	return LeaseResponse{State: StateLease, Grant: g}
 }
@@ -472,6 +492,8 @@ func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 		c.logf("rejecting completion from %s (lease %s): payload digest %s, sealed %s",
 			req.Worker, req.LeaseID, got, req.Sum)
 		c.o.verifyFailures.Inc()
+		c.flightf("reject", "completion from %s (lease %s): payload digest %s, sealed %s",
+			req.Worker, req.LeaseID, got, req.Sum)
 		return CompleteResponse{Reason: "payload digest mismatch"}
 	}
 	for _, cr := range req.Cells {
@@ -544,6 +566,7 @@ func (c *Coordinator) Fail(req FailRequest) FailResponse {
 		delete(c.leases, req.LeaseID)
 		c.o.leasesFailed.Inc()
 		c.traceLeaseLocked(l, now, "failed")
+		c.flightf("lease-failed", "lease %s surrendered by %s: %s", l.id, l.worker, req.Reason)
 		c.failLeaseLocked(l, now, "worker failed: "+req.Reason)
 	}
 	return FailResponse{OK: true}
@@ -566,6 +589,7 @@ func (c *Coordinator) Status() StatusResponse {
 		Retries:     c.retries,
 		Draining:    c.draining,
 		Quarantined: c.store.Quarantined(),
+		Health:      c.healthLocked(),
 	}
 	leased := make(map[int]bool)
 	for _, l := range c.leases {
@@ -610,6 +634,7 @@ func (c *Coordinator) Drain() {
 	if !c.draining {
 		c.draining = true
 		c.logf("draining: no further leases; %d/%d cells complete", c.done, len(c.cells))
+		c.flightf("drain", "draining: no further leases; %d/%d cells complete", c.done, len(c.cells))
 	}
 }
 

@@ -5,7 +5,10 @@ import (
 	"reflect"
 	"testing"
 
+	"dcra/internal/campaign"
+	"dcra/internal/config"
 	"dcra/internal/obs"
+	"dcra/internal/sched"
 )
 
 // TestFigure5BitIdenticalWithTelemetry is the telemetry layer's
@@ -29,7 +32,29 @@ func TestFigure5BitIdenticalWithTelemetry(t *testing.T) {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer()
 	instrumented.Instrument(reg, tracer)
+	// The fleet-health layer samples live registries into time-series rings
+	// while work runs; do the same here so the bit-identity contract covers
+	// concurrent ring sampling, not just passive instrument attachment.
+	ring := obs.NewRing(64)
+	stopSampling := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		at := int64(0)
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+				at++
+				ring.Record(at, reg.Snapshot())
+			}
+		}
+	}()
 	got, err := Figure5(instrumented)
+	close(stopSampling)
+	<-samplerDone
+	ring.Record(1 << 30, reg.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,5 +89,63 @@ func TestFigure5BitIdenticalWithTelemetry(t *testing.T) {
 	}
 	if tracer.Len() == 0 {
 		t.Error("tracer recorded no spans for an instrumented Figure 5 run")
+	}
+
+	// The ring sampled the run while it was live: its newest cumulative
+	// snapshot agrees with the final registry state, and a windowed delta
+	// never exceeds the total (the hot sampler overflows the ring, so the
+	// window spans oldest-held to newest, not all of history).
+	if ring.Len() < 2 {
+		t.Fatalf("sampler recorded %d ring intervals, want >= 2", ring.Len())
+	}
+	iv := ring.Intervals()
+	if newest := iv[len(iv)-1].Snap.Counters["engine.cells.done"]; newest != done {
+		t.Errorf("ring's newest sample saw %d cells done, registry says %d", newest, done)
+	}
+	if win, fromAt, toAt, ok := ring.Window(0); !ok {
+		t.Error("ring window unavailable after sampling")
+	} else if d := win.Counters["engine.cells.done"]; d < 0 || d > done || fromAt >= toAt {
+		t.Errorf("ring window delta %d over [%d,%d] inconsistent with %d total cells",
+			d, fromAt, toAt, done)
+	}
+}
+
+// TestSchedExperimentBitIdenticalWithHealth extends the same contract to
+// the open-system scheduler experiment: attaching the fleet-health layer
+// (turnaround SLOs evaluated over a cycle-domain health ring) to sched
+// trial cells must leave every cell's result bit-identical.
+func TestSchedExperimentBitIdenticalWithHealth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation test")
+	}
+
+	plain := determinismSuite(4)
+	healthy := determinismSuite(4)
+	healthy.SchedSLOs = []sched.SLOSpec{
+		{Class: sched.ClassAll, Quantile: 0.99, Target: schedMaxCycles(healthy)},
+		{Class: sched.ClassMEM, Quantile: 0.5, Target: 50_000},
+	}
+	healthy.SchedHealthEvery = 10_000
+
+	cfg := config.Baseline()
+	for _, a := range SchedArrivalPoints()[:2] {
+		for _, alloc := range SchedAllocs {
+			c := campaign.Cell{
+				Cfg: cfg,
+				WID: schedWID(schedContexts, a, schedBudget),
+				Pol: SchedPickers[0] + "+" + string(alloc),
+			}
+			ref, err := plain.RunCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := healthy.RunCell(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("sched cell %s diverges under the health layer:\nplain:   %+v\nhealthy: %+v", c, ref, got)
+			}
+		}
 	}
 }

@@ -159,9 +159,11 @@ func (s *Suite) computeSchedCell(c campaign.Cell) (sim.Result, error) {
 		Budget:    budget,
 		Seed:      s.Runner.Seed,
 		MaxCycles: schedMaxCycles(s),
-		Pool:      s.Runner.Pool,
-		FFDrain:   s.SchedFFDrain,
-		Obs:       s.Runner.Obs,
+		Pool:        s.Runner.Pool,
+		FFDrain:     s.SchedFFDrain,
+		Obs:         s.Runner.Obs,
+		SLOs:        s.SchedSLOs,
+		HealthEvery: s.SchedHealthEvery,
 	})
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: sched cell %s: %w", c, err)

@@ -21,6 +21,7 @@ import (
 	"dcra/internal/metrics"
 	"dcra/internal/obs"
 	"dcra/internal/policy"
+	"dcra/internal/sched"
 	"dcra/internal/sim"
 	"dcra/internal/singleflight"
 	"dcra/internal/trace"
@@ -164,6 +165,16 @@ type Suite struct {
 	// cells bypass the persistent store entirely — they neither read the
 	// exact results nor pollute the store with estimates.
 	SchedFFDrain bool
+
+	// SchedSLOs and SchedHealthEvery attach the fleet-health layer to
+	// "sched:" trial cells: declarative turnaround objectives and the
+	// health-ring tick interval, forwarded into sched.Config. Health ticks
+	// never perturb a trial (TestSchedHealthBitIdentical, and
+	// TestSchedExperimentBitIdenticalWithHealth here), and the health
+	// report travels outside sim.Result, so neither field joins a cell's
+	// content key — store results stay health-agnostic.
+	SchedSLOs        []sched.SLOSpec
+	SchedHealthEvery uint64
 
 	// RequireStore, with Store set, turns a store miss into ErrMissingCell
 	// instead of simulating the cell. Renders that must reflect exactly what

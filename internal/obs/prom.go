@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm writes the snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// cumulative _bucket/_sum/_count families with le labels. Instrument names
+// map to metric names by replacing every character outside [a-zA-Z0-9_:]
+// with '_' (so "coord.leases.granted" scrapes as coord_leases_granted).
+// Families are emitted in sorted name order, so the output is deterministic
+// for a given state — same contract as the JSON snapshot.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", m, m, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", m)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", m, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", m, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", m, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps an instrument name to a legal Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

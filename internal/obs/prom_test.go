@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("coord.leases.granted").Add(7)
+	reg.Gauge("sched.queue-depth").Set(3)
+	h := reg.Histogram("coord.cell.us", []int64{100, 1_000})
+	h.Observe(50)
+	h.Observe(50)
+	h.Observe(500)
+	h.Observe(5_000)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	wantLines := []string{
+		"# TYPE coord_leases_granted counter",
+		"coord_leases_granted 7",
+		"# TYPE sched_queue_depth gauge",
+		"sched_queue_depth 3",
+		"# TYPE coord_cell_us histogram",
+		`coord_cell_us_bucket{le="100"} 2`,
+		`coord_cell_us_bucket{le="1000"} 3`, // cumulative, not per-bucket
+		`coord_cell_us_bucket{le="+Inf"} 4`,
+		"coord_cell_us_sum 5600",
+		"coord_cell_us_count 4",
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("exposition missing line %q:\n%s", w, out)
+		}
+	}
+
+	// Deterministic for a given state.
+	var b2 strings.Builder
+	if err := reg.Snapshot().WriteProm(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if out != b2.String() {
+		t.Error("two expositions of the same state differ")
+	}
+
+	// Every non-comment line must be "name value" or "name{le=...} value" —
+	// the shape a text-format parser accepts.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"coord.leases.granted": "coord_leases_granted",
+		"9lives":               "_9lives",
+		"a-b c":                "a_b_c",
+		"":                     "_",
+		"ok_name:sub":          "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFlightRecorder(t *testing.T) {
+	f := NewFlightRecorder(3)
+	at := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	f.SetClock(func() time.Time { return at })
+	for i := 1; i <= 5; i++ {
+		f.Record("lease", "event %d", i)
+	}
+	ev := f.Events()
+	if len(ev) != 3 {
+		t.Fatalf("kept %d events, want 3", len(ev))
+	}
+	if ev[0].Seq != 3 || ev[2].Seq != 5 {
+		t.Errorf("kept seqs %d..%d, want 3..5 (oldest overwritten)", ev[0].Seq, ev[2].Seq)
+	}
+	if ev[2].Msg != "event 5" || ev[2].Kind != "lease" {
+		t.Errorf("newest event = %+v", ev[2])
+	}
+	d := f.Dump("test abort")
+	if d.Recorded != 5 || d.Dropped != 2 || d.Reason != "test abort" {
+		t.Errorf("dump header = %+v, want recorded 5, dropped 2", d)
+	}
+
+	path := t.TempDir() + "/flightrec.json"
+	if err := f.WriteFile(path, "test abort"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nil recorder: everything is a no-op, and a dump is still writable.
+	var nilRec *FlightRecorder
+	nilRec.Record("x", "ignored")
+	if nilRec.Len() != 0 || nilRec.Events() != nil {
+		t.Error("nil recorder should hold nothing")
+	}
+	if err := nilRec.WriteFile(t.TempDir()+"/nil.json", "empty"); err != nil {
+		t.Fatal(err)
+	}
+}

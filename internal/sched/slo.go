@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"fmt"
+
+	"dcra/internal/obs"
+)
+
+// Job classes an SLO can scope to, per the paper's ILP/MEM taxonomy.
+const (
+	ClassAll = "all"
+	ClassILP = "ilp"
+	ClassMEM = "mem"
+)
+
+// SLOSpec declares one turnaround latency objective for a trial: the
+// Quantile-quantile of turnaround cycles, over jobs of Class finishing in
+// the last Window health intervals, must stay at or below Target.
+type SLOSpec struct {
+	Class    string  `json:"class"`    // all, ilp or mem
+	Quantile float64 `json:"quantile"` // e.g. 0.99
+	Target   uint64  `json:"target"`   // cycles
+	Window   int     `json:"window"`   // health intervals; <= 0 means the whole trial
+}
+
+func (s SLOSpec) String() string {
+	return fmt.Sprintf("p%g(%s) <= %d cycles", s.Quantile*100, s.Class, s.Target)
+}
+
+// metric returns the health-registry histogram the spec reads.
+func (s SLOSpec) metric() string {
+	if s.Class == ClassAll {
+		return "sched.turnaround.cycles"
+	}
+	return "sched.turnaround.cycles." + s.Class
+}
+
+func (s SLOSpec) validate() error {
+	switch s.Class {
+	case ClassAll, ClassILP, ClassMEM:
+	default:
+		return fmt.Errorf("sched: %w: SLO class %q (want %s, %s or %s)", ErrConfig, s.Class, ClassAll, ClassILP, ClassMEM)
+	}
+	if s.Quantile <= 0 || s.Quantile > 1 {
+		return fmt.Errorf("sched: %w: SLO quantile %g outside (0, 1]", ErrConfig, s.Quantile)
+	}
+	if s.Target == 0 {
+		return fmt.Errorf("sched: %w: SLO needs a non-zero cycle target", ErrConfig)
+	}
+	return nil
+}
+
+// SLOResult is the end-of-trial verdict of one SLOSpec: the final window's
+// attainment, quantile estimate and error-budget burn, plus how many health
+// intervals breached along the way.
+type SLOResult struct {
+	Class           string  `json:"class"`
+	Quantile        float64 `json:"quantile"`
+	TargetCycles    uint64  `json:"target_cycles"`
+	WindowIntervals int     `json:"window_intervals"`
+
+	Observations    int64   `json:"observations"` // jobs in the final window
+	Attained        float64 `json:"attained"`
+	QuantileCycles  float64 `json:"quantile_cycles"`
+	Burn            float64 `json:"burn"`
+	Met             bool    `json:"met"`
+	BreachIntervals int     `json:"breach_intervals"`
+}
+
+// HealthReport is the trial's time-resolved self-assessment: how many
+// cycle-domain intervals the health ring recorded and how every declared SLO
+// fared. Deterministic for a given seed — the ring ticks on cycle
+// boundaries, so two same-seed trials produce identical reports.
+type HealthReport struct {
+	EveryCycles      uint64      `json:"every_cycles"`
+	Intervals        int         `json:"intervals"`
+	DroppedIntervals int64       `json:"dropped_intervals,omitempty"`
+	SLOs             []SLOResult `json:"slos,omitempty"`
+}
+
+// healthRingCap bounds the health ring; trials longer than
+// healthRingCap*HealthEvery cycles lose their oldest intervals (reported as
+// DroppedIntervals), exactly like any flight-data ring.
+const healthRingCap = 256
+
+// health is the trial-local state of the SLO layer: a private registry of
+// turnaround histograms (private so concurrent trials sharing a suite-wide
+// Obs registry cannot bleed into each other's windows), a cycle-domain ring
+// of its snapshots, and per-SLO breach accounting.
+type health struct {
+	every    uint64
+	next     uint64
+	last     uint64 // cycle of the most recent tick
+	ring     *obs.Ring
+	all      *obs.Histogram
+	ilp      *obs.Histogram
+	mem      *obs.Histogram
+	reg      *obs.Registry
+	slos     []SLOSpec
+	breaches []int
+
+	flight      *obs.FlightRecorder
+	breachCount *obs.Counter // on the caller's shared registry, nil-safe
+}
+
+// newHealth builds the trial's health state, or nil when the config declares
+// no SLOs and no health interval.
+func (c *Config) newHealth() (*health, error) {
+	if len(c.SLOs) == 0 && c.HealthEvery == 0 {
+		return nil, nil
+	}
+	for _, s := range c.SLOs {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+	}
+	every := c.HealthEvery
+	if every == 0 {
+		// Default: ~128 intervals across the horizon, at least one cycle.
+		every = max(c.MaxCycles/128, 1)
+	}
+	reg := obs.NewRegistry()
+	h := &health{
+		every:       every,
+		next:        every,
+		ring:        obs.NewRing(healthRingCap),
+		reg:         reg,
+		all:         reg.Histogram("sched.turnaround.cycles", obs.CycleBounds),
+		ilp:         reg.Histogram("sched.turnaround.cycles.ilp", obs.CycleBounds),
+		mem:         reg.Histogram("sched.turnaround.cycles.mem", obs.CycleBounds),
+		slos:        c.SLOs,
+		breaches:    make([]int, len(c.SLOs)),
+		flight:      c.Flight,
+		breachCount: c.Obs.Counter("sched.slo.breaches"),
+	}
+	return h, nil
+}
+
+// observe records one finished job's turnaround into the class histograms.
+func (h *health) observe(j *Job) {
+	if h == nil {
+		return
+	}
+	ta := int64(j.Turnaround())
+	h.all.Observe(ta)
+	if j.Mem {
+		h.mem.Observe(ta)
+	} else {
+		h.ilp.Observe(ta)
+	}
+}
+
+// tick snapshots the turnaround histograms into the ring at the given cycle
+// and re-evaluates every SLO over its sliding window, charging a breach (and
+// recording a flight event) for each unmet objective with observations.
+func (h *health) tick(at uint64) {
+	if h == nil {
+		return
+	}
+	h.last = at
+	h.ring.Record(int64(at), h.reg.Snapshot())
+	for i, spec := range h.slos {
+		st := h.ring.EvalSLO(obs.SLO{
+			Metric:   spec.metric(),
+			Quantile: spec.Quantile,
+			Target:   int64(spec.Target),
+			Window:   spec.Window,
+		})
+		if st.Met || st.Observations == 0 {
+			continue
+		}
+		h.breaches[i]++
+		h.breachCount.Inc()
+		h.flight.Record("slo-breach", "@%d %s: attained %.4f (%d jobs), p%g=%.0f cycles, burn %.2fx",
+			at, spec, st.Attained, st.Observations, spec.Quantile*100, st.QuantileValue, st.Burn)
+	}
+}
+
+// advance ticks every interval boundary in (from, now], leaving next > now.
+func (h *health) advance(now uint64) {
+	if h == nil {
+		return
+	}
+	for h.next <= now {
+		h.tick(h.next)
+		h.next += h.every
+	}
+}
+
+// stopBound clamps a run budget so the detailed loop regains control at the
+// next health-interval boundary. Identity when health is off.
+func (h *health) stopBound(stop uint64) uint64 {
+	if h == nil || h.next >= stop {
+		return stop
+	}
+	return h.next
+}
+
+// report closes the health state at the trial's final cycle: one last tick
+// (so tail jobs land in a window) and the per-SLO verdicts.
+func (h *health) report(finalCycle uint64) *HealthReport {
+	if h == nil {
+		return nil
+	}
+	if finalCycle > h.last || h.ring.Len() == 0 {
+		h.tick(finalCycle)
+	}
+	r := &HealthReport{
+		EveryCycles:      h.every,
+		Intervals:        h.ring.Len(),
+		DroppedIntervals: h.ring.Dropped(),
+	}
+	for i, spec := range h.slos {
+		st := h.ring.EvalSLO(obs.SLO{
+			Metric:   spec.metric(),
+			Quantile: spec.Quantile,
+			Target:   int64(spec.Target),
+			Window:   spec.Window,
+		})
+		r.SLOs = append(r.SLOs, SLOResult{
+			Class:           spec.Class,
+			Quantile:        spec.Quantile,
+			TargetCycles:    spec.Target,
+			WindowIntervals: spec.Window,
+			Observations:    st.Observations,
+			Attained:        st.Attained,
+			QuantileCycles:  st.QuantileValue,
+			Burn:            st.Burn,
+			Met:             st.Met,
+			BreachIntervals: h.breaches[i],
+		})
+	}
+	return r
+}

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dcra/internal/obs"
+)
+
+// TestSchedHealthBitIdentical is the health layer's bit-identity guard: the
+// same seed with and without SLO tracking must produce the identical event
+// log, job records, cycle count and machine stats. Health ticks add stop
+// boundaries to the detailed loop, and this test is the proof they are
+// observationally invisible.
+func TestSchedHealthBitIdentical(t *testing.T) {
+	for _, ffdrain := range []bool{false, true} {
+		base := testConfig(FCFS{}, nil)
+		base.FFDrain = ffdrain
+
+		plain, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		healthy := base
+		healthy.HealthEvery = 1_000 // hundreds of extra stop boundaries
+		healthy.SLOs = []SLOSpec{
+			{Class: ClassAll, Quantile: 0.99, Target: 200_000, Window: 8},
+			{Class: ClassMEM, Quantile: 0.5, Target: 150_000},
+		}
+		healthy.Flight = obs.NewFlightRecorder(64)
+		tr, err := Run(healthy)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if tr.EventLogText() != plain.EventLogText() {
+			t.Fatalf("ffdrain=%t: health layer perturbed the event log:\n--- plain\n%s\n--- health\n%s",
+				ffdrain, plain.EventLogText(), tr.EventLogText())
+		}
+		if tr.EventLogSHA() != plain.EventLogSHA() {
+			t.Fatalf("ffdrain=%t: event-log digests differ", ffdrain)
+		}
+		if !reflect.DeepEqual(tr.Jobs, plain.Jobs) {
+			t.Fatalf("ffdrain=%t: job records differ", ffdrain)
+		}
+		if tr.Cycles != plain.Cycles || tr.Completed != plain.Completed {
+			t.Fatalf("ffdrain=%t: cycles %d/%d completed %d/%d differ",
+				ffdrain, tr.Cycles, plain.Cycles, tr.Completed, plain.Completed)
+		}
+		if !reflect.DeepEqual(tr.Stats, plain.Stats) {
+			t.Fatalf("ffdrain=%t: machine stats differ", ffdrain)
+		}
+
+		// And the report itself must exist and be deterministic.
+		if tr.Health == nil {
+			t.Fatalf("ffdrain=%t: no health report", ffdrain)
+		}
+		tr2, err := Run(healthy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tr.Health, tr2.Health) {
+			t.Fatalf("ffdrain=%t: same-seed health reports differ:\n%+v\n%+v", ffdrain, tr.Health, tr2.Health)
+		}
+	}
+}
+
+func TestSchedHealthReport(t *testing.T) {
+	c := testConfig(FCFS{}, nil)
+	c.HealthEvery = 5_000
+	c.SLOs = []SLOSpec{
+		// Generous: every turnaround fits inside the horizon, so this must
+		// be met with zero breach intervals.
+		{Class: ClassAll, Quantile: 0.99, Target: c.MaxCycles},
+		// Impossible: one cycle of budget, so the first finishing job
+		// breaches it and keeps it breached.
+		{Class: ClassAll, Quantile: 0.5, Target: 1},
+	}
+	flight := obs.NewFlightRecorder(128)
+	c.Flight = flight
+	reg := obs.NewRegistry()
+	c.Obs = reg
+
+	tr, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.Health
+	if h == nil {
+		t.Fatal("no health report")
+	}
+	if h.EveryCycles != 5_000 || h.Intervals < 2 {
+		t.Fatalf("report interval bookkeeping %+v", h)
+	}
+	if len(h.SLOs) != 2 {
+		t.Fatalf("want 2 SLO results, got %+v", h.SLOs)
+	}
+	ok, bad := h.SLOs[0], h.SLOs[1]
+	if !ok.Met || ok.BreachIntervals != 0 || ok.Burn != 0 || ok.Attained != 1 {
+		t.Errorf("generous SLO should be cleanly met: %+v", ok)
+	}
+	if ok.Observations != int64(tr.Completed) {
+		t.Errorf("whole-trial window saw %d jobs, completed %d", ok.Observations, tr.Completed)
+	}
+	if bad.Met || bad.BreachIntervals == 0 || bad.Burn <= 1 {
+		t.Errorf("impossible SLO should breach: %+v", bad)
+	}
+
+	// Breaches surface on the shared registry and in the flight recorder.
+	snap := reg.Snapshot()
+	if snap.Counters["sched.slo.breaches"] != int64(bad.BreachIntervals) {
+		t.Errorf("shared breach counter %d, breach intervals %d",
+			snap.Counters["sched.slo.breaches"], bad.BreachIntervals)
+	}
+	var breachEvents int
+	for _, e := range flight.Events() {
+		if e.Kind == "slo-breach" {
+			breachEvents++
+		}
+	}
+	if breachEvents == 0 {
+		t.Error("no slo-breach flight events recorded")
+	}
+
+	// The report rides along in the JSON document.
+	if rs := tr.RunStats(); rs.Health != h {
+		t.Error("RunStats dropped the health report")
+	}
+}
+
+func TestSchedHealthDefaultInterval(t *testing.T) {
+	c := testConfig(FCFS{}, nil)
+	c.SLOs = []SLOSpec{{Class: ClassILP, Quantile: 0.9, Target: c.MaxCycles}}
+	tr, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Health == nil {
+		t.Fatal("SLOs alone should enable the health ring")
+	}
+	if want := c.MaxCycles / 128; tr.Health.EveryCycles != want {
+		t.Errorf("default interval %d, want MaxCycles/128 = %d", tr.Health.EveryCycles, want)
+	}
+	// No health config at all: no report.
+	plain, err := Run(testConfig(FCFS{}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Health != nil {
+		t.Error("health report without any health config")
+	}
+}
+
+func TestSLOSpecValidation(t *testing.T) {
+	bad := []SLOSpec{
+		{Class: "batch", Quantile: 0.99, Target: 10},
+		{Class: ClassAll, Quantile: 0, Target: 10},
+		{Class: ClassAll, Quantile: 1.5, Target: 10},
+		{Class: ClassAll, Quantile: 0.99, Target: 0},
+	}
+	for _, spec := range bad {
+		c := testConfig(FCFS{}, nil)
+		c.SLOs = []SLOSpec{spec}
+		if _, err := Run(c); !errors.Is(err, ErrConfig) {
+			t.Errorf("spec %+v: error %v, want ErrConfig", spec, err)
+		}
+	}
+}
